@@ -1,0 +1,14 @@
+"""Benchmark-suite configuration.
+
+The benchmarks regenerate every paper table/figure; each prints its
+artefact once (so ``pytest benchmarks/ --benchmark-only -s`` shows the
+reproduced tables) and times the regeneration itself.
+"""
+
+import sys
+from pathlib import Path
+
+# allow running from a source checkout without installation
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:  # pragma: no cover
+    sys.path.insert(0, str(SRC))

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Cooperative CPU+GPU execution: how much work should each side take?
+
+The paper's introduction motivates device selection with cooperative
+schemes (Valero-Lara et al.): sometimes the best answer is not "CPU or
+GPU" but "both".  With the analytical models in hand, the optimal static
+split of a parallel band is a one-dimensional sweep — this example finds
+it for several kernels and shows where cooperation pays and where the
+transfer bill makes it pointless.
+"""
+
+from repro.analysis import ProgramAttributeDatabase
+from repro.calibrate import fit_model_calibration
+from repro.machines import PLATFORM_P9_V100
+from repro.models import predict_split
+from repro.polybench import benchmark_by_name
+from repro.util import render_table
+
+
+def main() -> None:
+    platform = PLATFORM_P9_V100
+    cal = fit_model_calibration(platform)
+    db = ProgramAttributeDatabase()
+
+    rows = []
+    for bench in ("gemm", "2dconv", "mvt", "syrk"):
+        spec = benchmark_by_name(bench)
+        env = spec.env("benchmark")
+        for region in spec.build():
+            bound = db.compile_region(region).bind(env)
+            split = predict_split(bound, platform, calibration=cal)
+            rows.append(
+                [
+                    region.name,
+                    f"{split.cpu_only_seconds * 1e3:.1f}",
+                    f"{split.gpu_only_seconds * 1e3:.1f}",
+                    f"{split.gpu_fraction:.0%}",
+                    f"{split.makespan_seconds * 1e3:.1f}",
+                    f"{split.speedup_over_best_single:.2f}x",
+                    "yes" if split.worthwhile else "no",
+                ]
+            )
+    print(
+        render_table(
+            [
+                "kernel",
+                "cpu-only (ms)",
+                "gpu-only (ms)",
+                "best GPU share",
+                "split makespan (ms)",
+                "vs best single",
+                "split worth it?",
+            ],
+            rows,
+            title=f"Predicted cooperative splits on {platform.name} "
+            "(benchmark datasets)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

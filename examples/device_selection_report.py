@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Run the whole Polybench suite through the offloading runtime.
+
+Produces a per-kernel decision report for one platform and dataset mode —
+the end-user view of the framework: what ran where, what the model
+believed, and what it cost — plus the suite-level policy comparison.
+"""
+
+import argparse
+
+from repro.machines import platform_by_name
+from repro.polybench import all_kernel_cases
+from repro.runtime import AlwaysGPU, ModelGuided, OffloadingRuntime, Oracle
+from repro.util import geomean, render_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--platform", default="p9-v100", help="p8-k80 | p9-v100")
+    parser.add_argument("--mode", default="benchmark", help="test | benchmark")
+    parser.add_argument(
+        "--threads", type=int, default=None, help="host team size (default: all)"
+    )
+    args = parser.parse_args()
+
+    platform = platform_by_name(args.platform)
+    runtime = OffloadingRuntime(
+        platform, policy=ModelGuided(), num_threads=args.threads
+    )
+
+    rows = []
+    records = []
+    for case in all_kernel_cases(args.mode):
+        runtime.compile_region(case.region)
+        rec = runtime.launch(case.name, case.env)
+        records.append(rec)
+        rows.append(
+            [
+                case.name,
+                f"{rec.cpu_seconds * 1e3:.2f}",
+                f"{rec.gpu_seconds * 1e3:.2f}",
+                f"{rec.predicted_speedup:.2f}x",
+                rec.target,
+                "ok" if rec.decision_correct else "MISS",
+            ]
+        )
+    print(
+        render_table(
+            ["kernel", "cpu (ms)", "gpu (ms)", "predicted", "chosen", ""],
+            rows,
+            title=(
+                f"Device selection on {platform.name}, {args.mode} datasets, "
+                f"{args.threads or platform.host.hw_threads}-thread host"
+            ),
+        )
+    )
+
+    correct = sum(r.decision_correct for r in records)
+    print(f"\ndecision accuracy: {correct}/{len(records)}")
+    for name, seconds in (
+        ("always-gpu", [r.gpu_seconds for r in records]),
+        ("model-guided", [r.executed_seconds for r in records]),
+        ("oracle", [r.oracle_seconds for r in records]),
+    ):
+        speedups = [c.cpu_seconds / s for c, s in zip(records, seconds)]
+        print(f"{name:13s}: geomean speedup over host {geomean(speedups):.2f}x")
+
+
+if __name__ == "__main__":
+    main()

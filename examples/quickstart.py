@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: write a kernel, analyse it, and let the runtime pick a device.
+
+Walks the full Figure-2 pipeline on a user-written kernel:
+
+1. express an OpenMP-style parallel loop nest in the kernel IR DSL;
+2. "compile" it — static analyses populate the Program Attribute Database;
+3. reach the region at runtime with concrete sizes — the hybrid models
+   predict both targets and the runtime dispatches to the winner;
+4. inspect why: the MCA report and the IPDA coalescing verdicts.
+"""
+
+from repro.ir import Region, region_to_text
+from repro.machines import PLATFORM_P9_V100
+from repro.mca import analyze_region as mca_analyze
+from repro.analysis import runtime_trips
+from repro.runtime import ModelGuided, OffloadingRuntime
+
+
+def build_saxpy_rows() -> Region:
+    """y[i] += alpha * sum_j A[i][j] * x[j] — a row-sweep kernel."""
+    r = Region("saxpy_rows")
+    n, m = r.param_tuple("n", "m")
+    A = r.array("A", (n, m))
+    x = r.array("x", (m,))
+    y = r.array("y", (n,), inout=True)
+    alpha = r.scalar("alpha")
+    with r.parallel_loop("i", n) as i:
+        acc = r.local("acc", y[i])
+        with r.loop("j", m) as j:
+            r.assign(acc, acc + alpha * A[i, j] * x[j])
+        r.store(y[i], acc)
+    return r
+
+
+def main() -> None:
+    platform = PLATFORM_P9_V100
+    print(platform.render())
+    print()
+
+    region = build_saxpy_rows()
+    print(region_to_text(region))
+    print()
+
+    runtime = OffloadingRuntime(platform, policy=ModelGuided())
+    runtime.compile_region(region)
+
+    for n in (512, 2048, 8192, 16384):
+        record = runtime.launch("saxpy_rows", {"n": n, "m": n})
+        pred = record.prediction
+        print(
+            f"n={n:6d}: predicted cpu={pred.cpu.seconds * 1e3:9.3f} ms "
+            f"gpu={pred.gpu.seconds * 1e3:9.3f} ms -> run on {record.target.upper()}"
+            f"   (measured cpu={record.cpu_seconds * 1e3:9.3f} ms "
+            f"gpu={record.gpu_seconds * 1e3:9.3f} ms; "
+            f"{'correct' if record.decision_correct else 'WRONG'})"
+        )
+
+    print()
+    report = mca_analyze(region, platform.host, runtime_trips({"n": 8192, "m": 8192}))
+    print(report.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment is offline and lacks the ``wheel`` package, which
+PEP-517 editable installs require; keeping a ``setup.py`` (and omitting the
+``[build-system]`` table from pyproject.toml) lets ``pip install -e .`` use
+the legacy develop path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

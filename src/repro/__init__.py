@@ -1,0 +1,49 @@
+"""repro — hybrid analytical CPU/GPU target selection for parallel loops.
+
+A from-scratch reproduction of *"Toward an Analytical Performance Model to
+Select between GPU and CPU Execution"* (Chikin, Amaral, Ali, Tiotto —
+IPDPSW 2019): a kernel IR for OpenMP-style target regions, the IPDA
+inter-thread stride analysis, an LLVM-MCA-style scheduler substrate, the
+Liao/Chapman CPU and Hong/Kim GPU analytical models, detailed timing
+simulators standing in for the POWER8/POWER9 + K80/V100 hardware, an
+offloading runtime with selection policies, the Polybench evaluation
+suite, and an experiment harness regenerating every paper table and
+figure.
+
+Quick tour::
+
+    from repro.ir import Region
+    from repro.machines import PLATFORM_P9_V100
+    from repro.runtime import ModelGuided, OffloadingRuntime
+
+    region = Region("axpy")
+    n = region.param("n")
+    x, y = region.array("x", (n,)), region.array("y", (n,), inout=True)
+    a = region.scalar("a")
+    with region.parallel_loop("i", n) as i:
+        region.store(y[i], y[i] + a * x[i])
+
+    runtime = OffloadingRuntime(PLATFORM_P9_V100, policy=ModelGuided())
+    runtime.compile_region(region)
+    record = runtime.launch("axpy", {"n": 1 << 24})
+    print(record.target, record.predicted_speedup)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "calibrate",
+    "codegen",
+    "experiments",
+    "ipda",
+    "ir",
+    "machines",
+    "mca",
+    "models",
+    "polybench",
+    "runtime",
+    "sim",
+    "symbolic",
+    "util",
+]

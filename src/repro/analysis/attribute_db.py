@@ -1,0 +1,122 @@
+"""The Program Attribute Database (Figure 2).
+
+At "compile" time, the framework stores the static products of analysis for
+every outlined target region: the symbolic IPDA strides, the instruction
+loadout skeleton, the symbolic parallel-iteration count, and symbolic
+transfer sizes.  At execution time, the OpenMP runtime queries the entry by
+region key, binds the missing runtime values, and hands completed model
+inputs to the performance models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..ir import Region, validate_region
+from ..ipda import BoundIPDA, IPDAResult, analyze_region
+from ..symbolic import Expr
+from .features import InstructionLoadout, extract_loadout
+from .tripcount import PAPER_LOOP_TRIPS, nest_trips, paper_trip_abstraction
+
+__all__ = ["RegionAttributes", "BoundAttributes", "ProgramAttributeDatabase"]
+
+
+@dataclass(frozen=True)
+class RegionAttributes:
+    """Compile-time record for one target region."""
+
+    region: Region
+    ipda: IPDAResult
+    static_loadout: InstructionLoadout  # under the 128-iteration abstraction
+    parallel_iterations: Expr
+    required_symbols: frozenset[str]
+
+    def bind(self, env: Mapping[str, int]) -> "BoundAttributes":
+        """Complete the record with runtime values (Figure 2, runtime side).
+
+        ``env`` binds region parameters (array extents / trip counts).
+        Missing *inner* trip counts are tolerated — the paper's abstraction
+        covers them — but the parallel iteration count must resolve.
+        """
+        missing = self.parallel_iterations.free_symbols() - set(env)
+        if missing:
+            raise KeyError(
+                f"region {self.region.name!r}: parallel iteration count needs "
+                f"unbound symbols {sorted(missing)}"
+            )
+        runtime_loadout = extract_loadout(
+            self.region, nest_trips(self.region, env, default=PAPER_LOOP_TRIPS)
+        )
+        bound_ipda = self.ipda.bind(env)
+        to_dev, to_host = self.region.transfer_bytes(env)
+        return BoundAttributes(
+            attributes=self,
+            env=dict(env),
+            parallel_iterations=int(self.parallel_iterations.evaluate(env)),
+            loadout=runtime_loadout,
+            ipda=bound_ipda,
+            bytes_to_device=to_dev,
+            bytes_to_host=to_host,
+        )
+
+
+@dataclass(frozen=True)
+class BoundAttributes:
+    """Runtime-completed model inputs for one region instance."""
+
+    attributes: RegionAttributes
+    env: Mapping[str, int]
+    parallel_iterations: int
+    loadout: InstructionLoadout
+    ipda: BoundIPDA
+    bytes_to_device: int
+    bytes_to_host: int
+
+    @property
+    def region(self) -> Region:
+        return self.attributes.region
+
+
+class ProgramAttributeDatabase:
+    """Keyed store of compile-time attributes, queried by the runtime.
+
+    Keys are region names (standing in for the paper's "program and
+    location" index).
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, RegionAttributes] = {}
+
+    def compile_region(self, region: Region) -> RegionAttributes:
+        """Run all static analyses on a region and store the record."""
+        if region.name in self._entries:
+            raise KeyError(f"region {region.name!r} already compiled")
+        validate_region(region)
+        attrs = RegionAttributes(
+            region=region,
+            ipda=analyze_region(region),
+            static_loadout=extract_loadout(region, paper_trip_abstraction),
+            parallel_iterations=region.parallel_iterations(),
+            required_symbols=region.free_symbols(),
+        )
+        self._entries[region.name] = attrs
+        return attrs
+
+    def lookup(self, region_name: str) -> RegionAttributes:
+        """Fetch the compile-time record for a region; raises when absent."""
+        try:
+            return self._entries[region_name]
+        except KeyError as exc:
+            raise KeyError(
+                f"no compiled attributes for region {region_name!r}"
+            ) from exc
+
+    def __contains__(self, region_name: str) -> bool:
+        return region_name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def region_names(self) -> list[str]:
+        return sorted(self._entries)

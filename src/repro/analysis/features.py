@@ -1,0 +1,226 @@
+"""Instruction-loadout feature extraction (Section IV.B).
+
+Counts the *dynamic* instructions one thread executes for one parallel work
+item, grouped into compute and I/O categories as the paper describes.  IR
+instructions stand in for native micro-instructions — "given the closed
+nature of the true GPU assembly ISA, this serves as a good estimate."
+
+Counts are parameterized by a trip function so the same walk serves both
+the static abstraction (every loop = 128 iterations, branches 50%) and the
+runtime-accurate view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir import (
+    Bin,
+    Cmp,
+    ConstV,
+    If,
+    Load,
+    LocalAssign,
+    LocalDef,
+    LocalRef,
+    Loop,
+    Region,
+    ScalarArg,
+    Select,
+    Stmt,
+    Store,
+    Un,
+    VExpr,
+)
+from .tripcount import PAPER_BRANCH_PROBABILITY, TripFn
+
+__all__ = ["InstructionLoadout", "AccessWeight", "extract_loadout"]
+
+#: Op classes billed to the special-function path (GPU SFU / CPU long ops).
+_SFU_BIN = frozenset({"div"})
+_SFU_UN = frozenset({"sqrt", "exp"})
+
+
+@dataclass(frozen=True)
+class AccessWeight:
+    """Dynamic execution count of one static memory access, per work item.
+
+    ``access_index`` aligns with the order of
+    :func:`repro.ir.memory_accesses`, which is also the order IPDA reports
+    strides in — the GPU model joins the two to weight coalesced versus
+    uncoalesced traffic.
+    """
+
+    access_index: int
+    array_name: str
+    is_store: bool
+    weight: float
+    elem_bytes: int
+
+
+@dataclass(frozen=True)
+class InstructionLoadout:
+    """Per-work-item dynamic instruction counts.
+
+    All numbers are *per iteration of the collapsed parallel band* (one
+    OpenMP work item / one GPU thread repetition).
+    """
+
+    region_name: str
+    fp_insts: float
+    int_insts: float
+    sfu_insts: float
+    load_insts: float
+    store_insts: float
+    access_weights: tuple[AccessWeight, ...]
+    branch_insts: float
+
+    @property
+    def mem_insts(self) -> float:
+        return self.load_insts + self.store_insts
+
+    @property
+    def comp_insts(self) -> float:
+        """The Hong model's #Comp_insts: everything that is not memory."""
+        return self.fp_insts + self.int_insts + self.sfu_insts + self.branch_insts
+
+    @property
+    def total_insts(self) -> float:
+        return self.comp_insts + self.mem_insts
+
+    def arithmetic_intensity(self) -> float:
+        """FP operations per byte moved (a memory-boundedness indicator)."""
+        bytes_moved = sum(w.weight * w.elem_bytes for w in self.access_weights)
+        if bytes_moved == 0:
+            return float("inf")
+        return self.fp_insts / bytes_moved
+
+
+class _Counter:
+    def __init__(self, trip_of: TripFn, branch_probability):
+        self.trip_of = trip_of
+        # a float (the 50% abstraction) or a callable If -> probability
+        # (profile-guided mode)
+        self.p_branch = branch_probability
+        self.fp = 0.0
+        self.int_ = 0.0
+        self.sfu = 0.0
+        self.loads = 0.0
+        self.stores = 0.0
+        self.branches = 0.0
+        self.weights: list[AccessWeight] = []
+        self._access_index = 0
+
+    def value(self, v: VExpr, mult: float) -> None:
+        if isinstance(v, (ConstV, ScalarArg, LocalRef)):
+            return
+        if isinstance(v, Load):
+            self.loads += mult
+            self.weights.append(
+                AccessWeight(
+                    self._access_index,
+                    v.array.name,
+                    False,
+                    mult,
+                    v.array.dtype.size,
+                )
+            )
+            self._access_index += 1
+            # address computation
+            self.int_ += mult
+            return
+        if isinstance(v, Bin):
+            self.value(v.lhs, mult)
+            self.value(v.rhs, mult)
+            if v.op in _SFU_BIN:
+                self.sfu += mult
+            else:
+                self.fp += mult
+            return
+        if isinstance(v, Un):
+            self.value(v.operand, mult)
+            if v.op in _SFU_UN:
+                self.sfu += mult
+            else:
+                self.fp += mult
+            return
+        if isinstance(v, Cmp):
+            self.value(v.lhs, mult)
+            self.value(v.rhs, mult)
+            self.int_ += mult
+            return
+        if isinstance(v, Select):
+            self.value(v.cond, mult)
+            self.value(v.if_true, mult)
+            self.value(v.if_false, mult)
+            self.fp += mult  # the select itself
+            return
+        raise TypeError(f"cannot count {type(v).__name__}")  # pragma: no cover
+
+    def stmts(self, body: list[Stmt], mult: float) -> None:
+        for s in body:
+            if isinstance(s, Loop):
+                trips = self.trip_of(s)
+                # loop control: one increment + one compare+branch per trip
+                self.int_ += 2 * trips * mult
+                self.branches += trips * mult
+                self.stmts(s.body, mult * trips)
+            elif isinstance(s, If):
+                self.value(s.cond, mult)
+                self.branches += mult
+                p = self.p_branch(s) if callable(self.p_branch) else self.p_branch
+                self.stmts(s.then_body, mult * p)
+                self.stmts(s.else_body, mult * (1.0 - p))
+            elif isinstance(s, Store):
+                self.value(s.value, mult)
+                self.stores += mult
+                self.int_ += mult  # address computation
+                from ..ir import ReduceStore
+
+                if isinstance(s, ReduceStore):
+                    self.fp += mult  # the per-contribution combine op
+                self.weights.append(
+                    AccessWeight(
+                        self._access_index,
+                        s.array.name,
+                        True,
+                        mult,
+                        s.array.dtype.size,
+                    )
+                )
+                self._access_index += 1
+            elif isinstance(s, LocalDef):
+                self.value(s.init, mult)
+            elif isinstance(s, LocalAssign):
+                self.value(s.value, mult)
+            else:  # pragma: no cover - validator precludes this
+                raise TypeError(f"cannot count {type(s).__name__}")
+
+
+def extract_loadout(
+    region: Region,
+    trip_of: TripFn,
+    *,
+    branch_probability=PAPER_BRANCH_PROBABILITY,
+) -> InstructionLoadout:
+    """Count per-work-item dynamic instructions below the parallel band.
+
+    The walk starts *inside* the innermost band loop: parallel iterations
+    are work items, so their multiplicity is carried by grid geometry /
+    thread counts, not by the loadout.  ``branch_probability`` is either
+    the fixed 50% abstraction or a callable ``If -> probability`` supplied
+    by profile-guided analysis.
+    """
+    band = region.parallel_band()
+    counter = _Counter(trip_of, branch_probability)
+    counter.stmts(band[-1].body, 1.0)
+    return InstructionLoadout(
+        region_name=region.name,
+        fp_insts=counter.fp,
+        int_insts=counter.int_,
+        sfu_insts=counter.sfu,
+        load_insts=counter.loads,
+        store_insts=counter.stores,
+        access_weights=tuple(counter.weights),
+        branch_insts=counter.branches,
+    )

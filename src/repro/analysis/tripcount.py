@@ -1,0 +1,124 @@
+"""Trip-count abstractions.
+
+The paper's static analysis "assumes all loops execute 128 iterations and
+all conditional blocks execute half of the time" (Section IV.B).  The
+runtime side of the hybrid framework can instead evaluate symbolic trip
+counts once the parameters are known.  Both behaviours are expressed as
+*trip functions* ``Loop -> float`` passed into feature extraction and MCA.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from ..ir import Loop
+from ..symbolic import EvalError
+
+__all__ = [
+    "PAPER_LOOP_TRIPS",
+    "PAPER_BRANCH_PROBABILITY",
+    "paper_trip_abstraction",
+    "runtime_trips",
+    "hybrid_trips",
+    "nest_trips",
+]
+
+#: The fixed inner-loop iteration count of the paper's abstraction.
+PAPER_LOOP_TRIPS = 128
+
+#: The assumed probability that a conditional block executes.
+PAPER_BRANCH_PROBABILITY = 0.5
+
+TripFn = Callable[[Loop], float]
+
+
+def paper_trip_abstraction(loop: Loop) -> float:
+    """Every loop executes exactly 128 iterations (the paper's assumption)."""
+    return float(PAPER_LOOP_TRIPS)
+
+
+def runtime_trips(env: Mapping[str, float]) -> TripFn:
+    """Trip function that evaluates each loop's symbolic count under ``env``.
+
+    Raises :class:`repro.symbolic.EvalError` when a needed parameter is
+    unbound — by design: the simulator must never silently fall back.
+    """
+
+    def trips(loop: Loop) -> float:
+        return float(loop.count.evaluate(env))
+
+    return trips
+
+
+def hybrid_trips(env: Mapping[str, float], *, default: float = PAPER_LOOP_TRIPS) -> TripFn:
+    """Evaluate what the bindings allow; fall back to the 128 abstraction.
+
+    This is what the paper's predictor actually sees at runtime: the
+    parallel trip count arrives via the attribute database, but inner trip
+    counts that were not instrumented keep the static assumption.
+    """
+
+    def trips(loop: Loop) -> float:
+        try:
+            return float(loop.count.evaluate(env))
+        except EvalError:
+            return float(default)
+
+    return trips
+
+
+def nest_trips(
+    region,
+    env: Mapping[str, float],
+    *,
+    default: float | None = None,
+) -> TripFn:
+    """Nest-aware trip counts supporting non-rectangular loops.
+
+    A triangular loop (``for j2 in j1 .. m``) has a count that references
+    an *outer* induction variable; its average trip count is recovered by
+    binding each enclosing variable at the midpoint of its own range while
+    walking the nest top-down.  Rectangular loops resolve exactly as with
+    :func:`runtime_trips`.
+
+    ``default=None`` is strict (unresolvable parameters raise
+    :class:`EvalError`); a number reproduces the compile-time fallback of
+    :func:`hybrid_trips`.
+    """
+    from ..ir import If, Loop as _Loop  # local import avoids cycles at init
+
+    table: dict[int, float] = {}
+
+    def walk(stmts, mids: dict[str, float]) -> None:
+        for s in stmts:
+            if isinstance(s, _Loop):
+                bindings = {**env, **mids}
+                try:
+                    trips = max(0.0, float(s.count.evaluate(bindings)))
+                    start = float(s.start.evaluate(bindings))
+                    mid = start + trips / 2.0
+                    table[id(s)] = trips
+                except EvalError:
+                    if default is None:
+                        raise
+                    table[id(s)] = float(default)
+                    mid = float(default) / 2.0
+                walk(s.body, {**mids, s.var.name: mid})
+            elif isinstance(s, If):
+                walk(s.then_body, mids)
+                walk(s.else_body, mids)
+
+    walk(region.body, {})
+
+    def trip_of(loop: Loop) -> float:
+        if id(loop) in table:
+            return table[id(loop)]
+        # a loop from another region: behave like runtime/hybrid trips
+        try:
+            return float(loop.count.evaluate(env))
+        except EvalError:
+            if default is None:
+                raise
+            return float(default)
+
+    return trip_of

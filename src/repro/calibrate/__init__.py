@@ -1,0 +1,37 @@
+"""Microbenchmark calibration of model parameters.
+
+The paper obtains its model constants from microbenchmarks: EPCC for the
+OpenMP overheads (Table II), libhugetlbfs for the TLB penalty, Zhe Jia's
+probes for the V100 latencies (Table III).  This package reproduces that
+methodology against our simulated "hardware": probe kernels are run on the
+simulators and model constants are fit from the measurements.
+"""
+
+from .kernels import (
+    build_dot_rows,
+    build_empty_body,
+    build_strided_walk,
+    build_triad,
+)
+from .model_fit import ModelCalibration, fit_model_calibration
+from .epcc import ParallelOverhead, measure_parallel_overhead, overhead_curve
+from .tlb import TLBProbeResult, probe_tlb, simulate_page_walk
+from .gpu_microbench import GPULatencyProbe, chase_latency, probe_gpu_latencies
+
+__all__ = [
+    "build_dot_rows",
+    "build_empty_body",
+    "build_strided_walk",
+    "build_triad",
+    "ModelCalibration",
+    "fit_model_calibration",
+    "ParallelOverhead",
+    "measure_parallel_overhead",
+    "overhead_curve",
+    "TLBProbeResult",
+    "probe_tlb",
+    "simulate_page_walk",
+    "GPULatencyProbe",
+    "chase_latency",
+    "probe_gpu_latencies",
+]

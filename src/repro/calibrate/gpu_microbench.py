@@ -1,0 +1,66 @@
+"""Jia-style GPU latency microbenchmarks (Table III methodology).
+
+Zhe Jia's technical report recovers the V100's memory latencies with
+pointer-chase kernels whose working set is sized to sit in each cache
+level.  We run the same probe against the simulator's memory model: a
+single warp chases dependent sector-strided loads through a footprint, and
+the average access latency plateaus at the level holding that footprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machines import GPUDescriptor
+from ..sim.locality import AccessSpec, LoopExtent, analyze_access
+from ..sim.gpu_sim import _gpu_hierarchy
+
+__all__ = ["GPULatencyProbe", "chase_latency", "probe_gpu_latencies"]
+
+
+@dataclass(frozen=True)
+class GPULatencyProbe:
+    """Measured latency plateaus of the device's memory hierarchy."""
+
+    gpu_name: str
+    l1_latency: float
+    l2_latency: float
+    dram_latency: float
+
+
+def chase_latency(gpu: GPUDescriptor, footprint_bytes: int) -> float:
+    """Average access latency of a pointer chase over ``footprint_bytes``.
+
+    One warp, one lane doing the chase (uniform across the warp), stride of
+    two sectors to defeat spatial prefetch, repeated sweeps so steady-state
+    hits land in the level that holds the footprint.
+    """
+    if footprint_bytes <= 0:
+        raise ValueError("footprint must be positive")
+    stride_elems = (2 * gpu.sector_bytes) // 4  # two sectors, f32 elements
+    trips = max(2.0, footprint_bytes / (2 * gpu.sector_bytes))
+    spec = AccessSpec(
+        elem_bytes=4,
+        loops=(
+            LoopExtent(float(stride_elems), trips),  # the chase sweep
+            LoopExtent(0.0, 1024.0),  # outer repeats: steady state
+        ),
+        dynamic_count=trips * 1024.0,
+        array_bytes=float(footprint_bytes),
+    )
+    # single resident warp: the probe owns the whole cache
+    mem = _gpu_hierarchy(gpu, 1.0, 1.0)
+    return analyze_access(spec, mem).avg_latency_cycles
+
+
+def probe_gpu_latencies(gpu: GPUDescriptor) -> GPULatencyProbe:
+    """Recover the L1 / L2 / DRAM latency plateaus."""
+    l1_fp = gpu.l1_kib_per_sm * 1024 // 2
+    l2_fp = gpu.l2_kib * 1024 // 2
+    dram_fp = gpu.l2_kib * 1024 * 16
+    return GPULatencyProbe(
+        gpu_name=gpu.name,
+        l1_latency=chase_latency(gpu, l1_fp),
+        l2_latency=chase_latency(gpu, l2_fp),
+        dram_latency=chase_latency(gpu, dram_fp),
+    )

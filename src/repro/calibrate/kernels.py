@@ -1,0 +1,62 @@
+"""Synthetic microbenchmark kernels used for calibration.
+
+These are *not* Polybench members: they are the small, behaviour-isolating
+loops one writes to measure machine parameters — a streaming triad (pure
+bandwidth), a dot-product row sweep (reduction + latency), and a strided
+walker (TLB / coalescing probe).
+"""
+
+from __future__ import annotations
+
+from ..ir import Region
+
+__all__ = ["build_triad", "build_dot_rows", "build_strided_walk", "build_empty_body"]
+
+
+def build_triad(name: str = "cal_triad") -> Region:
+    """STREAM triad: z[i] = x[i] + a*y[i] — a pure bandwidth probe."""
+    r = Region(name)
+    n = r.param("n")
+    x = r.array("x", (n,))
+    y = r.array("y", (n,))
+    z = r.array("z", (n,), output=True)
+    a = r.scalar("a")
+    with r.parallel_loop("i", n) as i:
+        r.store(z[i], x[i] + a * y[i])
+    return r
+
+
+def build_dot_rows(name: str = "cal_dot") -> Region:
+    """Per-row dot products: y[i] = Σ_j A[i,j]·x[j] — latency + reduction."""
+    r = Region(name)
+    n, m = r.param_tuple("n", "m")
+    A = r.array("A", (n, m))
+    x = r.array("x", (m,))
+    y = r.array("y", (n,), output=True)
+    with r.parallel_loop("i", n) as i:
+        acc = r.local("acc", 0.0)
+        with r.loop("j", m) as j:
+            r.assign(acc, acc + A[i, j] * x[j])
+        r.store(y[i], acc)
+    return r
+
+
+def build_strided_walk(stride_param: str = "s", name: str = "cal_stride") -> Region:
+    """Strided store: A[s*i] = 1.0 — the coalescing/TLB probe."""
+    r = Region(name)
+    n = r.param("n")
+    s = r.param(stride_param)
+    A = r.array("A", (n * s.sym,), output=True)
+    with r.parallel_loop("i", n) as i:
+        r.store(A[s.sym * i.sym], 1.0)
+    return r
+
+
+def build_empty_body(name: str = "cal_empty") -> Region:
+    """Near-empty parallel loop — isolates fork/schedule/join overheads."""
+    r = Region(name)
+    n = r.param("n")
+    A = r.array("A", (n,), output=True)
+    with r.parallel_loop("i", n) as i:
+        r.store(A[i], 0.0)
+    return r

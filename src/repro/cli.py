@@ -1,0 +1,176 @@
+"""Command-line interface: regenerate paper artefacts and query the models.
+
+Installed as ``repro-paper`` (see pyproject.toml), or run as
+``python -m repro.cli``::
+
+    repro-paper table1                 # any of table1..3, figure3..8, ablations
+    repro-paper all                    # every artefact in paper order
+    repro-paper select gemm --mode benchmark --platform p9-v100
+    repro-paper probe tlb|gpu|epcc
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .machines import POWER9, TESLA_V100, platform_by_name
+from .util import render_table
+
+__all__ = ["main", "build_parser"]
+
+_ARTEFACTS = (
+    "table1",
+    "table2",
+    "table3",
+    "figure3",
+    "figure45",
+    "figure6",
+    "figure7",
+    "figure8",
+    "ablations",
+    "summary",
+    "crossgen",
+)
+
+
+def _render_artefact(name: str) -> str:
+    from . import experiments as ex
+
+    if name == "table1":
+        return ex.run_table1().render()
+    if name == "table2":
+        return ex.run_table2().render()
+    if name == "table3":
+        return ex.run_table3().render()
+    if name == "figure3":
+        return ex.run_figure3().render()
+    if name == "figure45":
+        return ex.run_figure45().render()
+    if name == "figure6":
+        return ex.run_figure6().render()
+    if name == "figure7":
+        return ex.run_figure7().render()
+    if name == "figure8":
+        return "\n\n".join(
+            ex.run_figure8(mode).render() for mode in ("test", "benchmark")
+        )
+    if name == "ablations":
+        return "\n\n".join(
+            ex.run_ablations(mode).render() for mode in ("test", "benchmark")
+        )
+    if name == "summary":
+        return ex.run_summary().render()
+    if name == "crossgen":
+        return "\n\n".join(
+            ex.run_crossgen(mode).render() for mode in ("test", "benchmark")
+        )
+    raise KeyError(name)  # pragma: no cover - argparse restricts choices
+
+
+def _cmd_artefact(args) -> int:
+    names = _ARTEFACTS if args.artefact == "all" else (args.artefact,)
+    for i, name in enumerate(names):
+        if i:
+            print()
+        print(_render_artefact(name))
+    return 0
+
+
+def _cmd_select(args) -> int:
+    from .polybench import benchmark_by_name
+    from .runtime import ModelGuided, OffloadingRuntime
+
+    platform = platform_by_name(args.platform)
+    spec = benchmark_by_name(args.benchmark)
+    runtime = OffloadingRuntime(
+        platform, policy=ModelGuided(), num_threads=args.threads
+    )
+    rows = []
+    for region in spec.build():
+        runtime.compile_region(region)
+        rec = runtime.launch(region.name, spec.env(args.mode))
+        rows.append(
+            [
+                region.name,
+                f"{rec.prediction.cpu.seconds * 1e3:.3f}",
+                f"{rec.prediction.gpu.seconds * 1e3:.3f}",
+                rec.target,
+                f"{rec.true_speedup:.2f}x",
+                "ok" if rec.decision_correct else "MISS",
+            ]
+        )
+    print(
+        render_table(
+            ["kernel", "pred cpu (ms)", "pred gpu (ms)", "chosen", "true", ""],
+            rows,
+            title=(
+                f"{spec.name} on {platform.name} ({args.mode} datasets, "
+                f"{args.threads or platform.host.hw_threads} threads)"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_probe(args) -> int:
+    from . import calibrate as cal
+
+    if args.what == "tlb":
+        res = cal.probe_tlb(POWER9)
+        print(
+            f"{res.cpu_name}: {res.measured_entries} TLB entries, "
+            f"{res.measured_miss_penalty_cycles:g}-cycle miss penalty"
+        )
+    elif args.what == "gpu":
+        res = cal.probe_gpu_latencies(TESLA_V100)
+        print(
+            f"{res.gpu_name}: L1 {res.l1_latency:g} / L2 {res.l2_latency:g} "
+            f"/ DRAM {res.dram_latency:g} cycles"
+        )
+    else:  # epcc
+        for m in cal.overhead_curve(POWER9):
+            print(
+                f"{m.cpu_name} x{m.num_threads:<4d}: "
+                f"{m.overhead_cycles:12,.0f} cycles ({m.overhead_us:8.1f} us)"
+            )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-paper",
+        description="Reproduce Chikin et al. (IPDPSW 2019) artefacts",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    art = sub.add_parser("artefact", help="regenerate a paper table/figure")
+    art.add_argument("artefact", choices=_ARTEFACTS + ("all",))
+    art.set_defaults(func=_cmd_artefact)
+    # artefact names also work as top-level commands
+    for name in _ARTEFACTS + ("all",):
+        p = sub.add_parser(name, help=f"regenerate {name}")
+        p.set_defaults(func=_cmd_artefact, artefact=name)
+
+    sel = sub.add_parser("select", help="run the selector on one benchmark")
+    sel.add_argument("benchmark", help="polybench benchmark name (e.g. gemm)")
+    sel.add_argument("--platform", default="p9-v100")
+    sel.add_argument("--mode", default="benchmark", choices=("test", "benchmark"))
+    sel.add_argument("--threads", type=int, default=None)
+    sel.set_defaults(func=_cmd_select)
+
+    probe = sub.add_parser("probe", help="run a calibration microbenchmark")
+    probe.add_argument("what", choices=("tlb", "gpu", "epcc"))
+    probe.set_defaults(func=_cmd_probe)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,88 @@
+"""CPU-parallel execution planning (the host fallback version).
+
+Captures what the outlined CPU-parallel clone of a target region looks
+like: thread count, OpenMP schedule and chunk geometry — the quantities the
+Liao/Chapman cost model prices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..machines import CPUDescriptor
+
+__all__ = ["OMPSchedule", "CPUPlan", "plan_cpu_execution"]
+
+
+class OMPSchedule(Enum):
+    """OpenMP loop schedules the cost model distinguishes."""
+
+    STATIC = "static"
+    DYNAMIC = "dynamic"
+
+
+@dataclass(frozen=True)
+class CPUPlan:
+    """Resolved host-parallel execution shape for a given iteration count."""
+
+    parallel_iterations: int
+    num_threads: int
+    schedule: OMPSchedule
+    chunk_size: int  # iterations per schedule chunk
+    schedule_times: int  # chunks each thread processes (Liao's Schedule_times)
+    threads_per_core: int
+
+    @property
+    def iterations_per_thread(self) -> int:
+        """Iterations on the critical-path (most loaded) thread."""
+        return -(-self.parallel_iterations // self.num_threads)
+
+    def describe(self) -> str:
+        return (
+            f"omp parallel for num_threads({self.num_threads}) "
+            f"schedule({self.schedule.value},{self.chunk_size}) "
+            f"[{self.schedule_times} chunk(s)/thread]"
+        )
+
+
+def plan_cpu_execution(
+    parallel_iterations: int,
+    cpu: CPUDescriptor,
+    *,
+    num_threads: int | None = None,
+    schedule: OMPSchedule = OMPSchedule.STATIC,
+    chunk_size: int | None = None,
+) -> CPUPlan:
+    """Plan the host-parallel version of a region.
+
+    Default is the OpenMP default: as many threads as hardware threads, and
+    a static schedule whose chunk is the iteration space divided evenly.
+    Threads beyond the iteration count sit idle (they still pay fork/join).
+    """
+    if parallel_iterations <= 0:
+        raise ValueError("parallel_iterations must be positive")
+    threads = cpu.hw_threads if num_threads is None else num_threads
+    if threads <= 0:
+        raise ValueError("num_threads must be positive")
+    threads = min(threads, cpu.hw_threads)
+    busy = min(threads, parallel_iterations)
+
+    if schedule is OMPSchedule.STATIC:
+        chunk = chunk_size or -(-parallel_iterations // threads)
+        schedule_times = max(
+            1, -(-parallel_iterations // (chunk * threads))
+        )
+    else:
+        chunk = chunk_size or 1
+        schedule_times = max(1, -(-parallel_iterations // (chunk * busy)))
+
+    threads_per_core = -(-threads // cpu.cores) if threads > cpu.cores else 1
+    return CPUPlan(
+        parallel_iterations=parallel_iterations,
+        num_threads=threads,
+        schedule=schedule,
+        chunk_size=chunk,
+        schedule_times=schedule_times,
+        threads_per_core=min(threads_per_core, cpu.smt),
+    )

@@ -1,0 +1,92 @@
+"""Analytical grid-geometry selection.
+
+Section V.B recounts Lloyd et al.'s ML predictor for choosing the GPU grid
+geometry of OpenMP loops — which beat the compiler default but whose
+inference overhead "overshadowed all benefits".  The analytical models
+make the same choice for the cost of a few equation evaluations: sweep the
+candidate block sizes through the Hong model and keep the fastest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machines import GPUDescriptor, InterconnectDescriptor
+from .gpu_plan import GPULaunchPlan, plan_gpu_launch
+
+__all__ = ["GeometryChoice", "tune_threads_per_block", "CANDIDATE_BLOCK_SIZES"]
+
+#: Block sizes the runtime considers (all warp multiples up to the limit).
+CANDIDATE_BLOCK_SIZES = (64, 128, 256, 512, 1024)
+
+
+@dataclass(frozen=True)
+class GeometryChoice:
+    """Outcome of the analytical grid-geometry sweep."""
+
+    threads_per_block: int
+    plan: GPULaunchPlan
+    predicted_kernel_seconds: float
+    candidates: tuple[tuple[int, float], ...]  # (tpb, predicted seconds)
+
+    @property
+    def default_seconds(self) -> float:
+        """Predicted time of the 128-thread compiler default."""
+        for tpb, secs in self.candidates:
+            if tpb == 128:
+                return secs
+        raise KeyError(128)  # pragma: no cover - 128 is always a candidate
+
+    @property
+    def improvement_over_default(self) -> float:
+        return self.default_seconds / self.predicted_kernel_seconds
+
+
+def tune_threads_per_block(
+    bound,
+    gpu: GPUDescriptor,
+    bus: InterconnectDescriptor,
+    *,
+    candidates: tuple[int, ...] = CANDIDATE_BLOCK_SIZES,
+) -> GeometryChoice:
+    """Pick the block size the Hong model predicts fastest.
+
+    ``bound`` is a :class:`repro.analysis.BoundAttributes`; transfer time is
+    geometry-independent, so only kernel cycles are compared.
+    """
+    from ..models import predict_gpu_time  # local import: layering
+
+    if 128 not in candidates:
+        raise ValueError("the 128-thread compiler default must be a candidate")
+    results: list[tuple[int, float]] = []
+    plans: dict[int, GPULaunchPlan] = {}
+    for tpb in candidates:
+        if tpb > gpu.max_threads_per_block:
+            continue
+        plan = plan_gpu_launch(
+            bound.parallel_iterations, gpu, threads_per_block=tpb
+        )
+        pred = predict_gpu_time(
+            bound.region.name,
+            bound.loadout,
+            bound.ipda,
+            plan,
+            gpu,
+            bus,
+            bound.bytes_to_device,
+            bound.bytes_to_host,
+        )
+        results.append((tpb, pred.kernel_seconds))
+        plans[tpb] = plan
+    # prefer the compiler default on (near-)ties: a deviation must earn >1%
+    default_secs = dict(results)[128]
+    best = (128, default_secs, plans[128])
+    for tpb, secs in results:
+        if secs < best[1] * 0.99:
+            best = (tpb, secs, plans[tpb])
+    return GeometryChoice(
+        threads_per_block=best[0],
+        plan=best[2],
+        predicted_kernel_seconds=best[1],
+        candidates=tuple(results),
+    )

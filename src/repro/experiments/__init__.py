@@ -1,0 +1,58 @@
+"""Experiment harness: one module per paper table/figure.
+
+Each ``run_*`` function returns a result object with a ``render()`` method
+producing the paper-style text artefact; the ``benchmarks/`` directory
+wraps these in pytest-benchmark targets.
+"""
+
+from .common import (
+    KernelMeasurement,
+    clear_caches,
+    measure_suite,
+    predict_suite,
+)
+from .table1 import Table1Result, Table1Row, run_table1
+from .table2 import Table2Result, run_table2
+from .table3 import Table3Result, run_table3
+from .figure3 import Figure3Result, run_figure3
+from .figure45 import Figure45Result, RegimePoint, run_figure45
+from .figure67 import Figure67Result, PredictionRow, run_figure6, run_figure7
+from .figure8 import Figure8Result, Figure8Row, run_figure8
+from .ablations import AblationResult, AblationScore, run_ablations
+from .summary import Claim, SummaryResult, run_summary
+from .crossgen import CrossGenResult, GENERATIONS, run_crossgen
+
+__all__ = [
+    "KernelMeasurement",
+    "clear_caches",
+    "measure_suite",
+    "predict_suite",
+    "Table1Result",
+    "Table1Row",
+    "run_table1",
+    "Table2Result",
+    "run_table2",
+    "Table3Result",
+    "run_table3",
+    "Figure3Result",
+    "run_figure3",
+    "Figure45Result",
+    "RegimePoint",
+    "run_figure45",
+    "Figure67Result",
+    "PredictionRow",
+    "run_figure6",
+    "run_figure7",
+    "Figure8Result",
+    "Figure8Row",
+    "run_figure8",
+    "AblationResult",
+    "AblationScore",
+    "run_ablations",
+    "Claim",
+    "SummaryResult",
+    "run_summary",
+    "CrossGenResult",
+    "GENERATIONS",
+    "run_crossgen",
+]

@@ -1,0 +1,157 @@
+"""Shared measurement infrastructure for the experiment harness.
+
+Runs the Polybench suite on a platform ("measuring" with the simulators)
+and through the analytical predictor, with memoization so that the
+table/figure modules and the pytest benchmarks can share results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis import ProgramAttributeDatabase
+from ..calibrate import ModelCalibration, fit_model_calibration
+from ..machines import PLATFORM_P8_K80, PLATFORM_P9_V100, Platform, platform_by_name
+from ..models import SelectionPrediction, predict_both
+from ..polybench import KernelCase, all_kernel_cases
+from ..sim import simulate_cpu, simulate_gpu_kernel, simulate_transfers
+
+__all__ = ["KernelMeasurement", "measure_suite", "predict_suite", "clear_caches"]
+
+
+def _resolve_platform(platform: "Platform | str") -> Platform:
+    """Accept a Platform, a registry key ('p9-v100') or a display name."""
+    if isinstance(platform, Platform):
+        return platform
+    for known in (PLATFORM_P8_K80, PLATFORM_P9_V100):
+        if platform == known.name:
+            return known
+    return platform_by_name(platform)
+
+
+@dataclass(frozen=True)
+class KernelMeasurement:
+    """Measured (simulated) CPU and GPU times for one kernel case."""
+
+    case: KernelCase
+    cpu_seconds: float
+    gpu_kernel_seconds: float
+    gpu_transfer_seconds: float
+
+    @property
+    def gpu_seconds(self) -> float:
+        return self.gpu_kernel_seconds + self.gpu_transfer_seconds
+
+    @property
+    def true_speedup(self) -> float:
+        """Actual GPU-offloading speedup (host time / device time)."""
+        return self.cpu_seconds / self.gpu_seconds
+
+    @property
+    def oracle_seconds(self) -> float:
+        return min(self.cpu_seconds, self.gpu_seconds)
+
+
+_MEASURE_CACHE: dict[tuple, list[KernelMeasurement]] = {}
+_PREDICT_CACHE: dict[tuple, list[SelectionPrediction]] = {}
+_DB_CACHE: dict[str, ProgramAttributeDatabase] = {}
+_CAL_CACHE: dict[tuple, ModelCalibration] = {}
+
+
+def clear_caches() -> None:
+    """Drop all experiment memoization (for tests)."""
+    _MEASURE_CACHE.clear()
+    _PREDICT_CACHE.clear()
+    _DB_CACHE.clear()
+    _CAL_CACHE.clear()
+
+
+def _database(mode: str) -> tuple[ProgramAttributeDatabase, list[KernelCase]]:
+    cases = all_kernel_cases(mode)
+    if mode not in _DB_CACHE:
+        db = ProgramAttributeDatabase()
+        for case in cases:
+            db.compile_region(case.region)
+        _DB_CACHE[mode] = db
+    # regions must come from the compiled database so attribute lookups hit
+    db = _DB_CACHE[mode]
+    cases = [
+        KernelCase(
+            benchmark=c.benchmark,
+            mode=c.mode,
+            region=db.lookup(c.name).region,
+            env=c.env,
+            scalars=c.scalars,
+        )
+        for c in cases
+    ]
+    return db, cases
+
+
+def measure_suite(
+    platform: Platform | str,
+    mode: str,
+    *,
+    num_threads: int | None = None,
+) -> list[KernelMeasurement]:
+    """Simulate every suite kernel on both devices of a platform."""
+    plat = _resolve_platform(platform)
+    key = (plat.name, mode, num_threads)
+    if key in _MEASURE_CACHE:
+        return _MEASURE_CACHE[key]
+    _, cases = _database(mode)
+    out: list[KernelMeasurement] = []
+    for case in cases:
+        cpu = simulate_cpu(
+            case.region, plat.host, case.env, num_threads=num_threads
+        )
+        gpu = simulate_gpu_kernel(case.region, plat.gpu, case.env)
+        xfer = simulate_transfers(case.region, plat.bus, case.env)
+        out.append(
+            KernelMeasurement(
+                case=case,
+                cpu_seconds=cpu.seconds,
+                gpu_kernel_seconds=gpu.seconds,
+                gpu_transfer_seconds=xfer.total_seconds,
+            )
+        )
+    _MEASURE_CACHE[key] = out
+    return out
+
+
+def predict_suite(
+    platform: Platform | str,
+    mode: str,
+    *,
+    num_threads: int | None = None,
+    calibrated: bool = True,
+    use_runtime_tripcounts: bool = True,
+) -> list[SelectionPrediction]:
+    """Run the analytical predictor over every suite kernel."""
+    plat = _resolve_platform(platform)
+    key = (plat.name, mode, num_threads, calibrated, use_runtime_tripcounts)
+    if key in _PREDICT_CACHE:
+        return _PREDICT_CACHE[key]
+    db, cases = _database(mode)
+    calibration = None
+    if calibrated:
+        cal_key = (plat.name, num_threads)
+        if cal_key not in _CAL_CACHE:
+            _CAL_CACHE[cal_key] = fit_model_calibration(
+                plat, num_threads=num_threads
+            )
+        calibration = _CAL_CACHE[cal_key]
+    out: list[SelectionPrediction] = []
+    for case in cases:
+        bound = db.lookup(case.name).bind(case.env)
+        out.append(
+            predict_both(
+                bound,
+                plat,
+                num_threads=num_threads,
+                calibration=calibration,
+                use_runtime_tripcounts=use_runtime_tripcounts,
+            )
+        )
+    _PREDICT_CACHE[key] = out
+    return out

@@ -1,0 +1,139 @@
+"""The claim-by-claim reproduction scorecard (EXPERIMENTS.md, live).
+
+Re-derives the summary table of EXPERIMENTS.md from current code — every
+paper claim with its reproduced value and pass/fail status — so the
+scorecard can never drift from the implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..calibrate import probe_gpu_latencies, probe_tlb
+from ..machines import POWER9, TESLA_V100
+from ..util import render_table
+from .figure67 import run_figure6, run_figure7
+from .figure8 import run_figure8
+from .table1 import run_table1
+
+__all__ = ["Claim", "SummaryResult", "run_summary"]
+
+P8 = "POWER8+K80"
+P9 = "POWER9+V100"
+
+
+@dataclass(frozen=True)
+class Claim:
+    claim: str
+    paper: str
+    reproduced: str
+    holds: bool
+
+
+@dataclass(frozen=True)
+class SummaryResult:
+    claims: tuple[Claim, ...]
+
+    @property
+    def all_hold(self) -> bool:
+        return all(c.holds for c in self.claims)
+
+    def render(self) -> str:
+        rows = [
+            [c.claim, c.paper, c.reproduced, "PASS" if c.holds else "partial"]
+            for c in self.claims
+        ]
+        return render_table(
+            ["claim", "paper", "reproduced", "status"],
+            rows,
+            title="Reproduction scorecard (shape-level claims)",
+            align_right=False,
+        )
+
+
+def run_summary() -> SummaryResult:
+    """Evaluate every shape claim against freshly computed results."""
+    t1 = run_table1()
+    by = {r.kernel: r for r in t1.rows}
+    f6 = run_figure6()
+    f7 = run_figure7()
+    f8 = {m: run_figure8(m) for m in ("test", "benchmark")}
+    tlb = probe_tlb(POWER9)
+    jia = probe_gpu_latencies(TESLA_V100)
+
+    conv = by["3dconv"]
+    corr = by["corr_corr"]
+    atax = by["atax_k2"]
+    claims = [
+        Claim(
+            "3DCONV flips slowdown->speedup across generations",
+            "0.48x -> 4.41x",
+            f"{conv.get('benchmark', P8):.2f}x -> {conv.get('benchmark', P9):.2f}x",
+            conv.get("benchmark", P8) < 1.0 < conv.get("benchmark", P9),
+        ),
+        Claim(
+            "CORR main kernel: far better candidate on POWER8",
+            "offload on P8, not on P9",
+            f"{corr.get('benchmark', P8):.1f}x vs {corr.get('benchmark', P9):.1f}x "
+            f"(test: {corr.get('test', P8):.2f}x vs {corr.get('test', P9):.2f}x)",
+            corr.get("benchmark", P8) > 3 * corr.get("benchmark", P9)
+            and corr.get("test", P9) < 1.0,
+        ),
+        Claim(
+            "Decision stable, magnitude shifts (ATAX2 test)",
+            "1.24x -> 40.69x",
+            f"{atax.get('test', P8):.2f}x -> {atax.get('test', P9):.2f}x",
+            atax.get("test", P8) > 1.0
+            and atax.get("test", P9) > 2 * atax.get("test", P8),
+        ),
+        Claim(
+            "Model-guided beats always-offload (test mode)",
+            "10.2x -> 14.2x",
+            f"{f8['test'].geomeans()['always-gpu']:.2f}x -> "
+            f"{f8['test'].geomeans()['model-guided']:.2f}x",
+            f8["test"].geomeans()["model-guided"]
+            >= f8["test"].geomeans()["always-gpu"] * 0.999,
+        ),
+        Claim(
+            "Model-guided beats always-offload (benchmark mode)",
+            "2.9x -> 3.7x",
+            f"{f8['benchmark'].geomeans()['always-gpu']:.2f}x -> "
+            f"{f8['benchmark'].geomeans()['model-guided']:.2f}x",
+            f8["benchmark"].geomeans()["model-guided"]
+            >= f8["benchmark"].geomeans()["always-gpu"] * 0.999,
+        ),
+        Claim(
+            "Close-call mispredictions survive (conv class)",
+            "2DCONV bench: pred 0.913x vs true 1.48x",
+            f"{sum(len(r.misses()) for r in f8.values())} misses across modes",
+            sum(len(r.misses()) for r in f8.values()) >= 1,
+        ),
+        Claim(
+            "Predictions track reality at 4 threads (Figs 6/7)",
+            "visual correlation",
+            f"acc {f6.decision_accuracy:.0%}/{f7.decision_accuracy:.0%}, "
+            f"log-corr {f6.rank_correlation_proxy:.2f}/"
+            f"{f7.rank_correlation_proxy:.2f}",
+            f6.decision_accuracy >= 0.8 and f7.decision_accuracy >= 0.8,
+        ),
+        Claim(
+            "Table II parameters recoverable by microbenchmark",
+            "1024 entries / 14 cycles",
+            f"{tlb.measured_entries} entries / "
+            f"{tlb.measured_miss_penalty_cycles:g} cycles",
+            tlb.measured_entries == 1024
+            and tlb.measured_miss_penalty_cycles == 14.0,
+        ),
+        Claim(
+            "Table III latencies recoverable by pointer chase",
+            "28 / 193 / ~400 cycles",
+            f"{jia.l1_latency:g} / {jia.l2_latency:g} / {jia.dram_latency:g}",
+            (jia.l1_latency, jia.l2_latency, jia.dram_latency)
+            == (28.0, 193.0, 400.0),
+        ),
+    ]
+    return SummaryResult(tuple(claims))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_summary().render())

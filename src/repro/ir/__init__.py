@@ -1,0 +1,86 @@
+"""Kernel IR: the representation of OpenMP target regions.
+
+The IR captures parallel loop nests with affine array accesses — the program
+class the paper's decision framework targets — and is the single source from
+which the CPU-parallel plan, the GPU SIMT plan, static features, IPDA stride
+expressions and MCA lowerings are all derived.
+"""
+
+from .types import DType, f32, f64, i32, i64
+from .nodes import (
+    Array,
+    Bin,
+    Cmp,
+    ConstV,
+    If,
+    IterVar,
+    Load,
+    LocalAssign,
+    LocalDef,
+    LocalRef,
+    Loop,
+    Param,
+    ReduceStore,
+    ScalarArg,
+    Select,
+    Stmt,
+    Store,
+    Un,
+    VExpr,
+)
+from .region import Region, absv, cmp, expv, maxv, minv, select, sqrt
+from .printer import region_to_text
+from .parser import ParseError, parse_region
+from .validate import ValidationError, validate_region
+from .visit import (
+    MemoryAccess,
+    count_reductions,
+    iter_loops,
+    memory_accesses,
+    walk_statements,
+)
+
+__all__ = [
+    "DType",
+    "f32",
+    "f64",
+    "i32",
+    "i64",
+    "Array",
+    "Bin",
+    "Cmp",
+    "ConstV",
+    "If",
+    "IterVar",
+    "Load",
+    "LocalAssign",
+    "LocalDef",
+    "LocalRef",
+    "Loop",
+    "Param",
+    "ReduceStore",
+    "ScalarArg",
+    "Select",
+    "Stmt",
+    "Store",
+    "Un",
+    "VExpr",
+    "Region",
+    "absv",
+    "cmp",
+    "expv",
+    "maxv",
+    "minv",
+    "select",
+    "sqrt",
+    "region_to_text",
+    "ParseError",
+    "parse_region",
+    "ValidationError",
+    "validate_region",
+    "MemoryAccess",
+    "count_reductions",
+    "iter_loops",
+    "memory_accesses",
+    "walk_statements",
+]

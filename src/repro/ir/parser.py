@@ -1,0 +1,438 @@
+"""Parser for the textual region format produced by :mod:`repro.ir.printer`.
+
+``parse_region(region_to_text(r))`` reconstructs an equivalent region, so
+kernels can be stored, diffed and shipped as text — and the printer/parser
+pair gives the IR a serialization format for free.
+
+The grammar is exactly the printer's output language::
+
+    target region NAME {
+      in f32 A[[ni]][[nk]]
+      inout f32 C[[ni]][[nj]]
+      scalar f32 alpha
+      parallel for (i = 0; i < 0 + [ni]; i++) {
+        f32 %acc.1 = (C[[i]][[j]] * beta);
+        %acc.1 = (%acc.1 + ...);
+        C[[i]][[j]] = %acc.1;
+        if (...) { ... } else { ... }
+      }
+    }
+
+Region parameters are not listed explicitly in the text; they are inferred
+as the free symbols of array shapes and loop bounds.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..symbolic import Expr, FloorDiv, Max, Min, Mod, Sym, as_expr
+from .nodes import (
+    Array,
+    Bin,
+    Cmp,
+    ConstV,
+    If,
+    IterVar,
+    Load,
+    LocalAssign,
+    LocalDef,
+    LocalRef,
+    Loop,
+    ScalarArg,
+    Select,
+    Store,
+    Un,
+    VExpr,
+)
+from .region import Region
+from .types import DType, f32, f64, i32, i64
+
+__all__ = ["parse_region", "ParseError"]
+
+
+class ParseError(Exception):
+    """A syntax or semantic problem in a textual region."""
+
+
+_DTYPES = {"f32": f32, "f64": f64, "i32": i32, "i64": i64}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<num>(?:\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+(?:[eE][+-]?\d+)?)(?![A-Za-z_]))
+  | (?P<sym>\[[A-Za-z_][\w.]*\])
+  | (?P<local>%[A-Za-z_][\w.]*)
+  | (?P<name>\d*[A-Za-z_][\w.]*)
+  | (?P<op><=|>=|==|!=|\+\+|//|[-+*/%<>=(){};?:,\[\]])
+  | (?P<ws>\s+)
+""",
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    out: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise ParseError(f"unexpected character {text[pos]!r} at offset {pos}")
+        pos = m.end()
+        kind = m.lastgroup
+        if kind != "ws":
+            out.append((kind, m.group()))
+    out.append(("eof", ""))
+    return out
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.toks = _tokenize(text)
+        self.i = 0
+        self.region: Region | None = None
+        self._ivars: dict[str, IterVar] = {}
+        self._locals: dict[str, DType] = {}
+
+    # -- token plumbing -----------------------------------------------------
+    def peek(self) -> tuple[str, str]:
+        return self.toks[self.i]
+
+    def next(self) -> tuple[str, str]:
+        tok = self.toks[self.i]
+        self.i += 1
+        return tok
+
+    def expect(self, value: str) -> str:
+        kind, got = self.next()
+        if got != value:
+            raise ParseError(f"expected {value!r}, got {got!r}")
+        return got
+
+    def expect_kind(self, kind: str) -> str:
+        got_kind, got = self.next()
+        if got_kind != kind:
+            raise ParseError(f"expected {kind}, got {got!r}")
+        return got
+
+    def at(self, value: str) -> bool:
+        return self.peek()[1] == value
+
+    # -- top level ----------------------------------------------------------
+    def parse(self) -> Region:
+        self.expect("target")
+        self.expect("region")
+        name = self.expect_kind("name")
+        self.region = Region(name)
+        self.expect("{")
+        while True:
+            kind, val = self.peek()
+            if val in ("in", "out", "inout"):
+                self._parse_array_decl()
+            elif val == "scalar":
+                self._parse_scalar_decl()
+            else:
+                break
+        body = self._parse_statements()
+        self.region.body.extend(body)
+        self.expect("}")
+        self._declare_params()
+        return self.region
+
+    def _parse_array_decl(self) -> None:
+        io = self.next()[1]
+        dtype = self._parse_dtype()
+        name = self.expect_kind("name")
+        shape: list[Expr] = []
+        while self.at("("):
+            break  # pragma: no cover - defensive
+        while self.peek()[1] == "[":
+            # shapes print as A[[ni]][[nk]]: '[' then an index expr then ']'
+            self.expect("[")
+            shape.append(self._parse_index())
+            self.expect("]")
+        if not shape:
+            raise ParseError(f"array {name!r} declared without a shape")
+        arr = Array(
+            name,
+            tuple(shape),
+            dtype,
+            is_input=(io in ("in", "inout")),
+            is_output=(io in ("out", "inout")),
+        )
+        self.region.arrays[name] = arr
+
+    def _parse_scalar_decl(self) -> None:
+        self.expect("scalar")
+        dtype = self._parse_dtype()
+        name = self.expect_kind("name")
+        self.region.scalar_args[name] = ScalarArg(name, dtype)
+
+    def _parse_dtype(self) -> DType:
+        name = self.expect_kind("name")
+        if name not in _DTYPES:
+            raise ParseError(f"unknown dtype {name!r}")
+        return _DTYPES[name]
+
+    def _declare_params(self) -> None:
+        bound = set(self._ivars)
+        syms = self.region.free_symbols() - bound
+        for name in sorted(syms):
+            if name not in self.region.params:
+                self.region.param(name)
+
+    # -- statements -----------------------------------------------------------
+    def _parse_statements(self) -> list:
+        out = []
+        while not self.at("}") and self.peek()[0] != "eof":
+            out.append(self._parse_statement())
+        return out
+
+    def _parse_statement(self):
+        kind, val = self.peek()
+        if val in ("parallel", "for"):
+            return self._parse_loop()
+        if val == "if":
+            return self._parse_if()
+        if val in _DTYPES:  # local definition: "f32 %acc.1 = expr;"
+            dtype = self._parse_dtype()
+            local = self.expect_kind("local")[1:]
+            self.expect("=")
+            init = self._parse_value()
+            self.expect(";")
+            self._locals[local] = dtype
+            return LocalDef(local, init, dtype)
+        if kind == "local":  # assignment: "%acc.1 = expr;"
+            local = self.next()[1][1:]
+            if local not in self._locals:
+                raise ParseError(f"assignment to undefined local %{local}")
+            self.expect("=")
+            value = self._parse_value()
+            self.expect(";")
+            return LocalAssign(local, value)
+        if val == "reduce":  # "reduce(add) A[[0]] = expr;"
+            from .nodes import ReduceStore
+
+            self.next()
+            self.expect("(")
+            op = self.expect_kind("name")
+            self.expect(")")
+            name = self.expect_kind("name")
+            arr = self.region.arrays.get(name)
+            if arr is None:
+                raise ParseError(f"reduction into undeclared array {name!r}")
+            idxs = self._parse_index_list()
+            self.expect("=")
+            value = self._parse_value()
+            self.expect(";")
+            return ReduceStore(arr, idxs, value, op)
+        if kind == "name":  # store: "A[[i]][[j]] = expr;"
+            name = self.next()[1]
+            arr = self.region.arrays.get(name)
+            if arr is None:
+                raise ParseError(f"store to undeclared array {name!r}")
+            idxs = self._parse_index_list()
+            self.expect("=")
+            value = self._parse_value()
+            self.expect(";")
+            return Store(arr, idxs, value)
+        raise ParseError(f"unexpected token {val!r} in statement position")
+
+    def _parse_loop(self) -> Loop:
+        parallel = False
+        if self.at("parallel"):
+            self.next()
+            parallel = True
+        self.expect("for")
+        self.expect("(")
+        var = self.expect_kind("name")
+        self.expect("=")
+        start = self._parse_index()
+        self.expect(";")
+        var2 = self.expect_kind("name")
+        if var2 != var:
+            raise ParseError(f"loop condition on {var2!r}, expected {var!r}")
+        self.expect("<")
+        bound = self._parse_index()
+        self.expect(";")
+        var3 = self.expect_kind("name")
+        self.expect("++")
+        if var3 != var:
+            raise ParseError(f"loop increment on {var3!r}, expected {var!r}")
+        self.expect(")")
+        self.expect("{")
+        iv = IterVar(var)
+        if var in self._ivars:
+            raise ParseError(f"shadowed induction variable {var!r}")
+        self._ivars[var] = iv
+        body = self._parse_statements()
+        self.expect("}")
+        del self._ivars[var]
+        return Loop(iv, bound - start, body, start=start, parallel=parallel)
+
+    def _parse_if(self) -> If:
+        self.expect("if")
+        cond = self._parse_value()
+        if not isinstance(cond, Cmp):
+            raise ParseError("if condition must be a comparison")
+        self.expect("{")
+        then_body = self._parse_statements()
+        self.expect("}")
+        else_body = []
+        if self.at("else"):
+            self.next()
+            self.expect("{")
+            else_body = self._parse_statements()
+            self.expect("}")
+        return If(cond, then_body, else_body)
+
+    # -- index (symbolic integer) expressions -----------------------------------
+    def _parse_index_list(self) -> tuple[Expr, ...]:
+        idxs: list[Expr] = []
+        while self.at("["):
+            self.expect("[")
+            idxs.append(self._parse_index())
+            self.expect("]")
+        if not idxs:
+            raise ParseError("expected at least one [[index]]")
+        return tuple(idxs)
+
+    def _parse_index(self) -> Expr:
+        return self._index_add()
+
+    def _index_add(self) -> Expr:
+        e = self._index_mul()
+        while self.peek()[1] in ("+", "-"):
+            op = self.next()[1]
+            rhs = self._index_mul()
+            e = e + rhs if op == "+" else e - rhs
+        return e
+
+    def _index_mul(self) -> Expr:
+        e = self._index_atom()
+        while self.peek()[1] in ("*", "//", "%"):
+            op = self.next()[1]
+            rhs = self._index_atom()
+            if op == "*":
+                e = e * rhs
+            elif op == "//":
+                e = FloorDiv.make(e, rhs)
+            else:
+                e = Mod.make(e, rhs)
+        return e
+
+    def _index_atom(self) -> Expr:
+        kind, val = self.peek()
+        if val == "(":
+            self.next()
+            e = self._parse_index()
+            self.expect(")")
+            return e
+        if val == "-":
+            self.next()
+            return -self._index_atom()
+        if kind == "num":
+            self.next()
+            return as_expr(int(val) if "." not in val and "e" not in val.lower() else float(val))
+        if kind == "sym":
+            self.next()
+            return Sym(val[1:-1])
+        if val in ("min", "max"):
+            self.next()
+            self.expect("(")
+            a = self._parse_index()
+            self.expect(",")
+            b = self._parse_index()
+            self.expect(")")
+            return (Min if val == "min" else Max).make(a, b)
+        raise ParseError(f"unexpected token {val!r} in index expression")
+
+    # -- value (dataflow) expressions ----------------------------------------------
+    _CMP_OPS = {"<": "lt", "<=": "le", ">": "gt", ">=": "ge", "==": "eq", "!=": "ne"}
+
+    def _parse_value(self) -> VExpr:
+        return self._value_cmp()
+
+    def _value_cmp(self) -> VExpr:
+        e = self._value_add()
+        if self.peek()[1] in self._CMP_OPS:
+            op = self.next()[1]
+            rhs = self._value_add()
+            return Cmp(self._CMP_OPS[op], e, rhs)
+        return e
+
+    def _value_add(self) -> VExpr:
+        e = self._value_mul()
+        while self.peek()[1] in ("+", "-"):
+            op = self.next()[1]
+            rhs = self._value_mul()
+            e = Bin("add" if op == "+" else "sub", e, rhs)
+        return e
+
+    def _value_mul(self) -> VExpr:
+        e = self._value_atom()
+        while self.peek()[1] in ("*", "/"):
+            op = self.next()[1]
+            rhs = self._value_atom()
+            e = Bin("mul" if op == "*" else "div", e, rhs)
+        return e
+
+    def _value_atom(self) -> VExpr:
+        kind, val = self.peek()
+        if val == "(":
+            self.next()
+            e = self._parse_value()
+            if self.at("?"):  # select: (cond ? a : b)
+                self.next()
+                if not isinstance(e, Cmp):
+                    raise ParseError("select condition must be a comparison")
+                a = self._parse_value()
+                self.expect(":")
+                b = self._parse_value()
+                self.expect(")")
+                return Select(e, a, b)
+            self.expect(")")
+            return e
+        if val == "-":
+            self.next()
+            if self.peek()[0] == "num":  # negative literal, not a neg() op
+                return ConstV(-float(self.next()[1]))
+            return Un("neg", self._value_atom())
+        if kind == "num":
+            self.next()
+            return ConstV(float(val))
+        if kind == "local":
+            self.next()
+            name = val[1:]
+            if name not in self._locals:
+                raise ParseError(f"read of undefined local %{name}")
+            return LocalRef(name, self._locals[name])
+        if val in ("sqrt", "abs", "exp", "neg"):
+            self.next()
+            self.expect("(")
+            operand = self._parse_value()
+            self.expect(")")
+            return Un(val if val != "neg" else "neg", operand)
+        if val in ("min", "max"):
+            self.next()
+            self.expect("(")
+            a = self._parse_value()
+            self.expect(",")
+            b = self._parse_value()
+            self.expect(")")
+            return Bin(val, a, b)
+        if kind == "name":
+            self.next()
+            if self.at("["):  # a load
+                arr = self.region.arrays.get(val)
+                if arr is None:
+                    raise ParseError(f"load from undeclared array {val!r}")
+                return Load(arr, self._parse_index_list())
+            if val in self.region.scalar_args:
+                return self.region.scalar_args[val]
+            raise ParseError(f"unknown name {val!r} in value expression")
+        raise ParseError(f"unexpected token {val!r} in value expression")
+
+
+def parse_region(text: str) -> Region:
+    """Parse a textual region dump back into a :class:`Region`."""
+    return _Parser(text).parse()

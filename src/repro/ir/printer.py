@@ -1,0 +1,50 @@
+"""Human-readable textual dump of a region (for debugging and docs)."""
+
+from __future__ import annotations
+
+from .nodes import If, LocalAssign, LocalDef, Loop, Stmt, Store
+from .region import Region
+
+__all__ = ["region_to_text"]
+
+
+def region_to_text(region: Region) -> str:
+    """Render a region as indented pseudo-C (stable across runs)."""
+    lines: list[str] = [f"target region {region.name} {{"]
+    for arr in region.arrays.values():
+        io = (
+            "inout"
+            if (arr.is_input and arr.is_output)
+            else ("out" if arr.is_output else "in")
+        )
+        lines.append(f"  {io} {arr!r}")
+    for s in region.scalar_args.values():
+        lines.append(f"  scalar {s.dtype} {s.name}")
+    _emit(region.body, lines, 1)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _emit(stmts: list[Stmt], lines: list[str], depth: int) -> None:
+    pad = "  " * depth
+    for s in stmts:
+        if isinstance(s, Loop):
+            kw = "parallel for" if s.parallel else "for"
+            start = repr(s.start)
+            lines.append(
+                f"{pad}{kw} ({s.var.name} = {start}; "
+                f"{s.var.name} < {start} + {s.count!r}; {s.var.name}++) {{"
+            )
+            _emit(s.body, lines, depth + 1)
+            lines.append(f"{pad}}}")
+        elif isinstance(s, If):
+            lines.append(f"{pad}if {s.cond!r} {{")
+            _emit(s.then_body, lines, depth + 1)
+            if s.else_body:
+                lines.append(f"{pad}}} else {{")
+                _emit(s.else_body, lines, depth + 1)
+            lines.append(f"{pad}}}")
+        elif isinstance(s, (Store, LocalDef, LocalAssign)):
+            lines.append(f"{pad}{s!r};")
+        else:  # pragma: no cover - defensive
+            lines.append(f"{pad}<unknown {type(s).__name__}>;")

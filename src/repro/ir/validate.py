@@ -1,0 +1,115 @@
+"""Structural verifier for regions.
+
+Catches malformed kernels early — the same role ``llvm::verifyModule`` plays
+— so that analyses downstream can assume well-formedness instead of
+defending against it.
+"""
+
+from __future__ import annotations
+
+from .nodes import If, Load, LocalAssign, LocalDef, LocalRef, Loop, Stmt, Store, VExpr
+from .region import Region
+from .visit import walk_statements
+
+__all__ = ["validate_region", "ValidationError"]
+
+
+class ValidationError(Exception):
+    """A structural problem in a region's IR."""
+
+
+def validate_region(region: Region) -> None:
+    """Raise :class:`ValidationError` on the first structural problem.
+
+    Checks performed:
+
+    * the region has at least one outer parallel loop (an OpenMP work-shared
+      nest — the object of study);
+    * every induction variable used in an index expression is in scope;
+    * every local read is dominated by its definition (single-block scoping);
+    * every array referenced is declared on the region;
+    * loop counts/array extents only reference declared parameters;
+    * parallel loops form one outermost contiguous band (the compiler's
+      collapse restriction).
+    """
+    region.parallel_band()  # raises ValueError when absent
+    _check_parallel_band_is_outermost(region)
+    declared_params = set(region.params.names())
+    for arr in region.arrays.values():
+        for dim in arr.shape:
+            _check_symbols(dim.free_symbols(), declared_params, f"shape of {arr.name}")
+
+    def visit(stmts: list[Stmt], ivars: set[str], locals_: set[str]) -> None:
+        for s in stmts:
+            if isinstance(s, Loop):
+                _check_symbols(
+                    s.count.free_symbols(), declared_params | ivars, "loop count"
+                )
+                _check_symbols(
+                    s.start.free_symbols(), declared_params | ivars, "loop start"
+                )
+                if s.var.name in ivars:
+                    raise ValidationError(
+                        f"shadowed induction variable {s.var.name!r}"
+                    )
+                visit(s.body, ivars | {s.var.name}, locals_)
+            elif isinstance(s, If):
+                _check_value(s.cond, region, ivars, locals_, declared_params)
+                visit(s.then_body, ivars, set(locals_))
+                visit(s.else_body, ivars, set(locals_))
+            elif isinstance(s, Store):
+                if s.array.name not in region.arrays:
+                    raise ValidationError(f"store to undeclared array {s.array.name!r}")
+                for idx in s.idxs:
+                    _check_symbols(
+                        idx.free_symbols(), declared_params | ivars, "store index"
+                    )
+                _check_value(s.value, region, ivars, locals_, declared_params)
+            elif isinstance(s, LocalDef):
+                _check_value(s.init, region, ivars, locals_, declared_params)
+                locals_.add(s.name)
+            elif isinstance(s, LocalAssign):
+                if s.name not in locals_:
+                    raise ValidationError(f"assignment to undefined local %{s.name}")
+                _check_value(s.value, region, ivars, locals_, declared_params)
+            else:  # pragma: no cover - defensive
+                raise ValidationError(f"unknown statement {type(s).__name__}")
+
+    visit(region.body, set(), set())
+
+
+def _check_parallel_band_is_outermost(region: Region) -> None:
+    band = set(id(lp) for lp in region.parallel_band())
+    for s in walk_statements(region.body):
+        if isinstance(s, Loop) and s.parallel and id(s) not in band:
+            raise ValidationError(
+                f"parallel loop {s.var.name!r} is not part of the outermost band"
+            )
+
+
+def _check_symbols(symbols: frozenset[str], allowed: set[str], what: str) -> None:
+    unknown = symbols - allowed
+    if unknown:
+        raise ValidationError(f"{what} references unbound names {sorted(unknown)}")
+
+
+def _check_value(
+    value: VExpr,
+    region: Region,
+    ivars: set[str],
+    locals_: set[str],
+    declared_params: set[str],
+) -> None:
+    for node in value.walk():
+        if isinstance(node, Load):
+            if node.array.name not in region.arrays:
+                raise ValidationError(
+                    f"load from undeclared array {node.array.name!r}"
+                )
+            for idx in node.idxs:
+                _check_symbols(
+                    idx.free_symbols(), declared_params | ivars, "load index"
+                )
+        elif isinstance(node, LocalRef):
+            if node.name not in locals_:
+                raise ValidationError(f"read of undefined local %{node.name}")

@@ -1,0 +1,42 @@
+"""Machine descriptors: CPUs, GPUs, interconnects and platforms.
+
+These carry the Table II / Table III parameter sets and are shared by the
+analytical models (coarse view) and the timing simulators (detailed view).
+"""
+
+from .cpu import CPUDescriptor, GENERIC_X86, POWER8, POWER9
+from .gpu import GPUDescriptor, TESLA_K80, TESLA_P100, TESLA_V100
+from .interconnect import InterconnectDescriptor, NVLINK2, PCIE3_X16
+from .topology import AcceleratorSlot, Platform
+from .registry import (
+    PLATFORM_P8_K80,
+    PLATFORM_P9_V100,
+    cpu_by_name,
+    gpu_by_name,
+    interconnect_by_name,
+    list_platforms,
+    platform_by_name,
+)
+
+__all__ = [
+    "CPUDescriptor",
+    "GENERIC_X86",
+    "POWER8",
+    "POWER9",
+    "GPUDescriptor",
+    "TESLA_K80",
+    "TESLA_P100",
+    "TESLA_V100",
+    "InterconnectDescriptor",
+    "NVLINK2",
+    "PCIE3_X16",
+    "AcceleratorSlot",
+    "Platform",
+    "PLATFORM_P8_K80",
+    "PLATFORM_P9_V100",
+    "cpu_by_name",
+    "gpu_by_name",
+    "interconnect_by_name",
+    "list_platforms",
+    "platform_by_name",
+]

@@ -1,0 +1,57 @@
+"""Host↔accelerator interconnect descriptors.
+
+The paper's two platforms differ exactly here: K80 over PCI-E 3.0 versus
+V100 over NVLink 2.0 — a ~6× effective-bandwidth jump that flips several
+offloading decisions in Table I (e.g. 3DCONV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["InterconnectDescriptor", "PCIE3_X16", "NVLINK2"]
+
+
+@dataclass(frozen=True)
+class InterconnectDescriptor:
+    """A data-transfer bus between host memory and device memory.
+
+    ``bandwidth_gbs`` is the *effective* (achievable) per-direction rate,
+    not the signalling rate; ``latency_us`` is the per-transfer fixed cost
+    (driver + DMA setup); ``small_transfer_bytes`` is the size below which
+    a transfer is latency-dominated and gets no bandwidth benefit.
+    """
+
+    name: str
+    bandwidth_gbs: float
+    latency_us: float
+    small_transfer_bytes: int = 8192
+    duplex: bool = True
+
+    def __post_init__(self):
+        if self.bandwidth_gbs <= 0 or self.latency_us < 0:
+            raise ValueError("invalid interconnect parameters")
+
+    def transfer_seconds(self, nbytes: int) -> float:
+        """Time to move ``nbytes`` one way (latency + size/bandwidth)."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if nbytes == 0:
+            return 0.0
+        effective = max(nbytes, self.small_transfer_bytes)
+        return self.latency_us * 1e-6 + effective / (self.bandwidth_gbs * 1e9)
+
+
+#: PCI Express 3.0 x16 — ~12 GB/s achievable of the 15.75 GB/s signalling.
+PCIE3_X16 = InterconnectDescriptor(
+    name="PCIe 3.0 x16",
+    bandwidth_gbs=12.0,
+    latency_us=12.0,
+)
+
+#: NVLink 2.0 (3 bricks, POWER9 AC922) — ~68 GB/s achievable of 75 GB/s.
+NVLINK2 = InterconnectDescriptor(
+    name="NVLink 2.0",
+    bandwidth_gbs=68.0,
+    latency_us=6.0,
+)

@@ -1,0 +1,87 @@
+"""Named registry of machine descriptors and the paper's two platforms."""
+
+from __future__ import annotations
+
+from .cpu import CPUDescriptor, GENERIC_X86, POWER8, POWER9
+from .gpu import GPUDescriptor, TESLA_K80, TESLA_P100, TESLA_V100
+from .interconnect import InterconnectDescriptor, NVLINK2, PCIE3_X16
+from .topology import AcceleratorSlot, Platform
+
+__all__ = [
+    "cpu_by_name",
+    "gpu_by_name",
+    "interconnect_by_name",
+    "platform_by_name",
+    "PLATFORM_P8_K80",
+    "PLATFORM_P9_V100",
+    "list_platforms",
+]
+
+_CPUS: dict[str, CPUDescriptor] = {
+    "power8": POWER8,
+    "power9": POWER9,
+    "generic-x86": GENERIC_X86,
+}
+
+_GPUS: dict[str, GPUDescriptor] = {
+    "k80": TESLA_K80,
+    "p100": TESLA_P100,
+    "v100": TESLA_V100,
+}
+
+_BUSES: dict[str, InterconnectDescriptor] = {
+    "pcie3": PCIE3_X16,
+    "nvlink2": NVLINK2,
+}
+
+#: Platform 1 of Section III: POWER8 host + Tesla K80 over PCI-E.
+PLATFORM_P8_K80 = Platform(
+    name="POWER8+K80",
+    host=POWER8,
+    accelerators=(AcceleratorSlot(TESLA_K80, PCIE3_X16),),
+)
+
+#: Platform 2 of Section III / the Section IV testbed: POWER9 (AC922) + V100
+#: over NVLink 2.
+PLATFORM_P9_V100 = Platform(
+    name="POWER9+V100",
+    host=POWER9,
+    accelerators=(AcceleratorSlot(TESLA_V100, NVLINK2),),
+)
+
+_PLATFORMS: dict[str, Platform] = {
+    "p8-k80": PLATFORM_P8_K80,
+    "p9-v100": PLATFORM_P9_V100,
+}
+
+
+def cpu_by_name(name: str) -> CPUDescriptor:
+    """Look up a CPU descriptor by its registry key (case-insensitive)."""
+    return _lookup(_CPUS, name, "CPU")
+
+
+def gpu_by_name(name: str) -> GPUDescriptor:
+    """Look up a GPU descriptor by its registry key (case-insensitive)."""
+    return _lookup(_GPUS, name, "GPU")
+
+
+def interconnect_by_name(name: str) -> InterconnectDescriptor:
+    """Look up an interconnect descriptor by its registry key."""
+    return _lookup(_BUSES, name, "interconnect")
+
+
+def platform_by_name(name: str) -> Platform:
+    """Look up one of the paper's experimental platforms."""
+    return _lookup(_PLATFORMS, name, "platform")
+
+
+def list_platforms() -> list[str]:
+    """Registry keys of the available platforms."""
+    return sorted(_PLATFORMS)
+
+
+def _lookup(table: dict, name: str, what: str):
+    key = name.strip().lower()
+    if key not in table:
+        raise KeyError(f"unknown {what} {name!r}; known: {sorted(table)}")
+    return table[key]

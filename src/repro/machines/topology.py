@@ -1,0 +1,78 @@
+"""System topology: a host with attached accelerator devices (Figure 1).
+
+A :class:`Platform` bundles the host CPU, one or more GPUs and the bus each
+GPU hangs off — the unit over which an offloading decision is made.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cpu import CPUDescriptor
+from .gpu import GPUDescriptor
+from .interconnect import InterconnectDescriptor
+
+__all__ = ["AcceleratorSlot", "Platform"]
+
+
+@dataclass(frozen=True)
+class AcceleratorSlot:
+    """One accelerator attached to the host via a specific bus."""
+
+    gpu: GPUDescriptor
+    bus: InterconnectDescriptor
+
+    def __repr__(self) -> str:
+        return f"{self.gpu.name} via {self.bus.name}"
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A heterogeneous compute node: host CPU + attached accelerators."""
+
+    name: str
+    host: CPUDescriptor
+    accelerators: tuple[AcceleratorSlot, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        object.__setattr__(self, "accelerators", tuple(self.accelerators))
+
+    @property
+    def gpu(self) -> GPUDescriptor:
+        """The primary accelerator (first slot); raises when none attached."""
+        if not self.accelerators:
+            raise ValueError(f"platform {self.name!r} has no accelerator")
+        return self.accelerators[0].gpu
+
+    @property
+    def bus(self) -> InterconnectDescriptor:
+        if not self.accelerators:
+            raise ValueError(f"platform {self.name!r} has no accelerator")
+        return self.accelerators[0].bus
+
+    def render(self) -> str:
+        """ASCII rendering of the Figure-1 style topology."""
+        host_line = (
+            f"{self.host.name}: {self.host.cores}c/SMT{self.host.smt} "
+            f"@ {self.host.frequency_ghz:g} GHz"
+        )
+        lines = [
+            "+----------------------- host -----------------------+",
+            f"| {host_line:<51} |",
+            f"| {'main memory, ' + format(self.host.dram_bw_gbs, 'g') + ' GB/s':<51} |",
+            "+-----------------------------------------------------+",
+        ]
+        for slot in self.accelerators:
+            lines.append(f"        | {slot.bus.name} ({slot.bus.bandwidth_gbs:g} GB/s)")
+            gpu_line = (
+                f"{slot.gpu.name}: {slot.gpu.num_sms} SMs, "
+                f"{slot.gpu.mem_bandwidth_gbs:g} GB/s"
+            )
+            lines.append("+------------------- accelerator --------------------+")
+            lines.append(f"| {gpu_line:<51} |")
+            lines.append("+-----------------------------------------------------+")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        accs = ", ".join(repr(a) for a in self.accelerators)
+        return f"Platform({self.name!r}: {self.host.name} + [{accs}])"

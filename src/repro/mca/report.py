@@ -1,0 +1,119 @@
+"""MCA-style analysis reports.
+
+Mirrors the reporting role of ``llvm-mca`` (cycles, IPC, resource pressure,
+bottleneck) for a region's parallel loop body, so users can inspect *why*
+the CPU model prices a kernel the way it does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from ..ir import Loop, Region
+from ..machines import CPUDescriptor
+from .lowering import (
+    LoweredLevel,
+    find_band_level,
+    level_cycles_per_iteration,
+    lower_region,
+)
+from .scheduler import schedule_ops, steady_state_cycles, unroll
+
+__all__ = ["MCAReport", "analyze_region"]
+
+
+@dataclass(frozen=True)
+class MCAReport:
+    """Static performance summary of one parallel-loop body."""
+
+    region_name: str
+    cpu_name: str
+    cycles_per_iteration: float
+    ipc: float
+    total_ops: int
+    port_pressure: Mapping[str, float]
+    bottleneck: str
+    vectorized: bool
+    vector_lanes: int
+
+    def render(self) -> str:
+        """Human-readable report in the style of llvm-mca output."""
+        lines = [
+            f"MCA report: {self.region_name} on {self.cpu_name}",
+            f"  cycles / parallel iteration : {self.cycles_per_iteration:10.2f}",
+            f"  steady-state IPC            : {self.ipc:10.2f}",
+            f"  static micro-ops            : {self.total_ops:10d}",
+            f"  vectorized                  : "
+            f"{'yes (' + str(self.vector_lanes) + ' lanes)' if self.vectorized else 'no'}",
+            "  resource pressure (fraction of unit-cycles busy):",
+        ]
+        for port in sorted(self.port_pressure):
+            bar = "#" * int(round(self.port_pressure[port] * 40))
+            lines.append(f"    {port:<4} {self.port_pressure[port]:6.2f} |{bar}")
+        lines.append(f"  bottleneck: {self.bottleneck}")
+        return "\n".join(lines)
+
+
+def analyze_region(
+    region: Region,
+    cpu: CPUDescriptor,
+    trip_of: Callable[[Loop], float],
+    *,
+    vectorize: bool = True,
+) -> MCAReport:
+    """Full MCA analysis of a region's parallel-loop body."""
+    root = lower_region(region, cpu, vectorize=vectorize)
+    band = find_band_level(root)
+    cycles = level_cycles_per_iteration(band, cpu, trip_of)
+
+    hot = _hottest_level(band, trip_of)
+    sched = schedule_ops(unroll(hot.leaf_ops, 8, hot.carried), cpu)
+    steady = steady_state_cycles(hot.leaf_ops, cpu, carried_regs=hot.carried)
+    ipc = len(hot.leaf_ops) / steady if steady > 0 else 0.0
+
+    vec_level = _first_vectorized(band)
+    return MCAReport(
+        region_name=region.name,
+        cpu_name=cpu.name,
+        cycles_per_iteration=cycles,
+        ipc=ipc,
+        total_ops=band.op_count(),
+        port_pressure=sched.pressure(cpu),
+        bottleneck=sched.bottleneck(cpu),
+        vectorized=vec_level is not None,
+        vector_lanes=vec_level.info.lanes if vec_level is not None else 1,
+    )
+
+
+def _hottest_level(level: LoweredLevel, trip_of: Callable[[Loop], float]) -> LoweredLevel:
+    """The level whose leaf ops dominate dynamic cost (deepest big loop)."""
+    best, best_weight = level, float(len(level.leaf_ops))
+    stack: list[tuple[LoweredLevel, float]] = [(level, 1.0)]
+    while stack:
+        lv, mult = stack.pop()
+        weight = mult * len(lv.leaf_ops) / lv.info.elements_per_unit
+        if weight > best_weight:
+            best, best_weight = lv, weight
+        for sub in lv.sub_loops:
+            trips = trip_of(sub.loop) if sub.loop is not None else 1.0
+            stack.append((sub, mult * trips))
+        for t, e in lv.sub_branches:
+            stack.append((t, mult * 0.5))
+            stack.append((e, mult * 0.5))
+    return best
+
+
+def _first_vectorized(level: LoweredLevel) -> LoweredLevel | None:
+    if level.info.vectorized:
+        return level
+    for sub in level.sub_loops:
+        found = _first_vectorized(sub)
+        if found is not None:
+            return found
+    for t, e in level.sub_branches:
+        for lv in (t, e):
+            found = _first_vectorized(lv)
+            if found is not None:
+                return found
+    return None

@@ -1,0 +1,190 @@
+"""The MCA scoreboard scheduler.
+
+Emulates the dispatch/issue behaviour LLVM-MCA derives from a target's
+scheduling model: in-order dispatch of ``dispatch_width`` ops per cycle,
+dataflow-ordered issue constrained by per-port unit availability, fixed
+op-class latencies, and unpipelined division/sqrt units.
+
+The central entry point, :func:`steady_state_cycles`, measures the
+asymptotic cycles-per-iteration of a loop body by scheduling several renamed
+copies (virtually unrolled iterations) and differencing completion times —
+this captures loop-carried dependency chains (e.g. a scalar reduction
+accumulator serialising on FMA latency) that a naive latency sum misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from ..machines import CPUDescriptor
+from .ops import UNPIPELINED, MachineOp
+
+__all__ = ["ScheduleResult", "schedule_ops", "steady_state_cycles"]
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Outcome of scheduling a straight-line op sequence."""
+
+    total_cycles: float
+    ipc: float
+    port_cycles: Mapping[str, float]  # busy-cycles consumed per port class
+    issue_cycle: tuple[float, ...]  # per-op issue times (for diagnostics)
+
+    def pressure(self, cpu: CPUDescriptor) -> dict[str, float]:
+        """Per-port utilization fraction over the schedule length."""
+        if self.total_cycles <= 0:
+            return {p: 0.0 for p in self.port_cycles}
+        out = {}
+        for port, busy in self.port_cycles.items():
+            units = cpu.ports.get(port, 1)
+            out[port] = busy / (self.total_cycles * units)
+        return out
+
+    def bottleneck(self, cpu: CPUDescriptor) -> str:
+        """The most contended port class (diagnostic, MCA-report style)."""
+        pres = self.pressure(cpu)
+        if not pres:
+            return "none"
+        return max(pres, key=pres.get)
+
+
+def schedule_ops(
+    ops: Sequence[MachineOp],
+    cpu: CPUDescriptor,
+    *,
+    latency_of: Callable[[MachineOp], float] | None = None,
+) -> ScheduleResult:
+    """Schedule a straight-line sequence of machine ops.
+
+    ``latency_of`` overrides per-op latency — the CPU timing simulator uses
+    it to inject cache-aware load latencies while the analytical path keeps
+    the descriptor's L1-hit numbers (the paper's no-cache-model abstraction).
+
+    The model: ops dispatch in program order, at most ``dispatch_width`` per
+    cycle; an op issues at the earliest cycle ≥ its dispatch cycle when all
+    source vregs are ready and a unit of its port has a free slot;
+    pipelined units accept one op per cycle per unit, unpipelined ones are
+    busy for the op's full latency.
+    """
+    if latency_of is None:
+        latency_of = lambda op: float(cpu.latency(op.opcode))  # noqa: E731
+
+    ready: dict[int, float] = {}  # vreg -> cycle its value is available
+    # port -> list of next-free cycles, one entry per unit
+    unit_free: dict[str, list[float]] = {
+        port: [0.0] * max(1, count) for port, count in cpu.ports.items()
+    }
+    port_busy: dict[str, float] = {}
+    issue_times: list[float] = []
+    finish = 0.0
+
+    for idx, op in enumerate(ops):
+        dispatch = idx // max(1, cpu.dispatch_width)
+        operands = max(
+            (ready.get(s, 0.0) for s in op.srcs), default=0.0
+        )
+        earliest = max(dispatch, operands)
+        units = unit_free.setdefault(op.port, [0.0])
+        # pick the unit that frees first
+        unit_idx = min(range(len(units)), key=units.__getitem__)
+        issue = max(earliest, units[unit_idx])
+        lat = latency_of(op)
+        occupancy = lat if op.opcode in UNPIPELINED else 1.0
+        units[unit_idx] = issue + occupancy
+        port_busy[op.port] = port_busy.get(op.port, 0.0) + occupancy
+        if op.dest >= 0:
+            ready[op.dest] = issue + lat
+        issue_times.append(issue)
+        finish = max(finish, issue + lat)
+
+    total = max(finish, 1.0) if ops else 0.0
+    ipc = len(ops) / total if total > 0 else 0.0
+    return ScheduleResult(
+        total_cycles=total,
+        ipc=ipc,
+        port_cycles=dict(port_busy),
+        issue_cycle=tuple(issue_times),
+    )
+
+
+@dataclass
+class _Renamer:
+    """Renames vregs per unrolled copy while threading loop-carried regs."""
+
+    next_vreg: int
+    carried: dict[int, int] = field(default_factory=dict)
+
+    def fresh(self) -> int:
+        v = self.next_vreg
+        self.next_vreg += 1
+        return v
+
+
+def unroll(
+    body: Sequence[MachineOp],
+    copies: int,
+    carried_regs: frozenset[int] = frozenset(),
+) -> list[MachineOp]:
+    """Concatenate ``copies`` renamed instances of ``body``.
+
+    Registers in ``carried_regs`` are loop-carried: a copy's reads of such a
+    register see the previous copy's (renamed) write, creating the serial
+    dependency chain of, e.g., a scalar reduction.
+    """
+    if copies < 1:
+        raise ValueError("copies must be >= 1")
+    max_reg = max((op.dest for op in body), default=-1)
+    max_src = max((max(op.srcs, default=-1) for op in body), default=-1)
+    base = max(max_reg, max_src) + 1
+
+    out: list[MachineOp] = []
+    # carried register id -> vreg currently holding its live value
+    live: dict[int, int] = {r: r for r in carried_regs}
+    for c in range(copies):
+        offset = base * (c + 1)
+        local_map: dict[int, int] = {}
+
+        def rename_src(s: int) -> int:
+            if s in local_map:
+                return local_map[s]
+            if s in carried_regs:
+                return live[s]
+            return s if c == 0 else s + offset - base  # region-invariant reg
+        for op in body:
+            srcs = tuple(rename_src(s) for s in op.srcs)
+            dest = op.dest
+            if dest >= 0:
+                new_dest = dest if c == 0 else dest + offset
+                local_map[dest] = new_dest
+                if dest in carried_regs:
+                    live[dest] = new_dest
+                dest = new_dest
+            out.append(MachineOp(op.opcode, dest, srcs, op.tag))
+    return out
+
+
+def steady_state_cycles(
+    body: Sequence[MachineOp],
+    cpu: CPUDescriptor,
+    *,
+    carried_regs: frozenset[int] = frozenset(),
+    warmup: int = 4,
+    measure: int = 16,
+    latency_of: Callable[[MachineOp], float] | None = None,
+) -> float:
+    """Asymptotic cycles per iteration of ``body`` under the scoreboard.
+
+    Schedules ``warmup + measure`` renamed copies and differences the two
+    schedule lengths, eliminating pipeline fill effects.
+    """
+    if not body:
+        return 0.0
+    short = schedule_ops(
+        unroll(body, warmup, carried_regs), cpu, latency_of=latency_of
+    ).total_cycles
+    long = schedule_ops(
+        unroll(body, warmup + measure, carried_regs), cpu, latency_of=latency_of
+    ).total_cycles
+    return max((long - short) / measure, 0.05)

@@ -1,0 +1,82 @@
+"""llvm-mca-style timeline view of a scheduled op sequence.
+
+Renders each micro-op's lifetime across cycles — dispatch (``D``), wait
+(``=``), execution (``e``), completion (``E``) — the same visual language
+``llvm-mca -timeline`` uses, driven by the scoreboard's issue times.
+
+::
+
+    [ 0] DeeeeeE   .    .     v1 = load v0   ; load A acc:0
+    [ 1] D=====eeeeeE   .     v2 = fma v1,v3,v2
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..machines import CPUDescriptor
+from .ops import MachineOp
+from .scheduler import schedule_ops
+
+__all__ = ["render_timeline"]
+
+
+def render_timeline(
+    ops: Sequence[MachineOp],
+    cpu: CPUDescriptor,
+    *,
+    latency_of: Callable[[MachineOp], float] | None = None,
+    max_cycles: int = 100,
+    max_ops: int = 48,
+) -> str:
+    """Render the dispatch/issue/complete timeline of an op sequence.
+
+    Long schedules are truncated to ``max_cycles`` columns and ``max_ops``
+    rows (annotated when truncation happens).
+    """
+    if not ops:
+        return "(empty op sequence)"
+    if latency_of is None:
+        latency_of = lambda op: float(cpu.latency(op.opcode))  # noqa: E731
+    result = schedule_ops(ops, cpu, latency_of=latency_of)
+
+    total = int(result.total_cycles) + 1
+    shown_cycles = min(total, max_cycles)
+    shown_ops = min(len(ops), max_ops)
+
+    header_tens = "".join(str((c // 10) % 10) for c in range(shown_cycles))
+    header_ones = "".join(str(c % 10) for c in range(shown_cycles))
+    lines = [
+        f"Timeline view ({total} cycles, IPC {result.ipc:.2f}):",
+        "       " + header_tens,
+        "Index  " + header_ones,
+    ]
+
+    for idx in range(shown_ops):
+        op = ops[idx]
+        dispatch = idx // max(1, cpu.dispatch_width)
+        issue = int(result.issue_cycle[idx])
+        lat = max(1, int(latency_of(op)))
+        complete = issue + lat - 1
+        row = []
+        for c in range(shown_cycles):
+            if c == dispatch and c < issue:
+                row.append("D")
+            elif c < dispatch:
+                row.append(" ")
+            elif c < issue:
+                row.append("=")
+            elif c == complete:
+                row.append("E")
+            elif c == issue == dispatch:
+                row.append("D" if lat > 1 else "E")
+            elif issue <= c < complete:
+                row.append("e")
+            else:
+                row.append("." if c % 5 == 0 else " ")
+        lines.append(f"[{idx:3d}]  " + "".join(row) + f"   {op!r}")
+    if shown_ops < len(ops):
+        lines.append(f"  ... {len(ops) - shown_ops} more ops not shown")
+    if shown_cycles < total:
+        lines.append(f"  ... schedule continues to cycle {total}")
+    return "\n".join(lines)

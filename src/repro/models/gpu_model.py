@@ -1,0 +1,257 @@
+"""The Hong & Kim GPU analytical model with the paper's extensions.
+
+Implements the MWP/CWP (memory-warp / compute-warp parallelism) equations
+of Figures 4 and 5, with the two modifications Section IV.B/IV.C describe:
+
+* the ``#OMP_Rep`` factor — when the runtime's capped grid geometry leaves
+  fewer threads than parallel-loop iterations, every thread executes
+  ``#OMP_Rep`` distinct iterations, multiplying the cycle estimate;
+* IPDA-driven coalescing — ``#Coal_Mem_insts`` / ``#Uncoal_Mem_insts`` come
+  from symbolic inter-thread stride analysis bound with runtime values,
+  instead of trace/profile-driven estimates.
+
+Notation follows Hong & Kim [11]: one warp alternates computation periods
+(``Comp_Cycles / #Mem_insts`` between consecutive memory instructions) and
+memory waiting periods; MWP says how many warps can overlap their memory
+periods, CWP how many warps' compute the memory period of one warp could
+hide.  Three regimes follow (Figure 4).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..analysis import InstructionLoadout
+from ..codegen import GPULaunchPlan
+from ..ipda import BoundIPDA
+from ..machines import GPUDescriptor, InterconnectDescriptor
+from .transfer import TransferEstimate, estimate_transfer
+
+__all__ = ["GPUPrediction", "predict_gpu_time", "MWPCWPInputs", "mwp_cwp"]
+
+#: Hong & Kim departure delays (cycles between consecutive memory requests
+#: leaving one SM) for coalesced and uncoalesced warp accesses.
+DEPARTURE_DELAY_COAL = 4.0
+DEPARTURE_DELAY_UNCOAL = 10.0
+
+#: Issue-cycle weight of a special-function (div/sqrt/exp) instruction
+#: relative to an ordinary ALU instruction (few SFU lanes per SM).
+SFU_ISSUE_WEIGHT = 8.0
+
+
+@dataclass(frozen=True)
+class MWPCWPInputs:
+    """Inputs to the Figure-5 equations, fully resolved."""
+
+    n_active_warps: float  # N
+    mem_latency: float  # Mem_L (weighted by coalescing mix)
+    departure_delay: float
+    mem_cycles: float  # per-thread (warp) memory waiting cycles
+    comp_cycles: float  # per-thread (warp) computation cycles
+    mem_insts: float  # per-thread dynamic memory instructions
+    load_bytes_per_warp: float
+    active_sms: int
+
+
+@dataclass(frozen=True)
+class MWPCWPResult:
+    """MWP/CWP and the execution-cycle regime chosen (Figure 4)."""
+
+    mwp: float
+    cwp: float
+    mwp_without_bw: float
+    mwp_peak_bw: float
+    case: str  # "balanced" | "memory-bound" | "compute-bound"
+    exec_cycles_one_wave: float  # before #Rep x #OMP_Rep scaling
+
+
+def mwp_cwp(inputs: MWPCWPInputs, gpu: GPUDescriptor) -> MWPCWPResult:
+    """Evaluate the Figure-5 equations and pick the Figure-4 regime."""
+    n = max(1.0, inputs.n_active_warps)
+    mem_l = max(1.0, inputs.mem_latency)
+
+    mwp_without_bw = mem_l / max(1.0, inputs.departure_delay)
+    bw_per_warp = (
+        gpu.clock_ghz * inputs.load_bytes_per_warp / mem_l
+    )  # GB/s demanded by one warp's in-flight stream
+    if bw_per_warp > 0 and inputs.active_sms > 0:
+        mwp_peak_bw = gpu.mem_bandwidth_gbs / (
+            bw_per_warp * inputs.active_sms
+        )
+    else:
+        mwp_peak_bw = n
+    mwp = max(1.0, min(mwp_without_bw, mwp_peak_bw, n))
+
+    comp = max(1.0, inputs.comp_cycles)
+    cwp_full = (inputs.mem_cycles + comp) / comp
+    cwp = max(1.0, min(cwp_full, n))
+
+    mem_insts = max(1.0, inputs.mem_insts)
+    comp_per_period = inputs.comp_cycles / mem_insts
+
+    if math.isclose(mwp, n, rel_tol=1e-9) and math.isclose(cwp, n, rel_tol=1e-9):
+        case = "balanced"
+        exec_cycles = (
+            inputs.mem_cycles + inputs.comp_cycles + comp_per_period * (mwp - 1.0)
+        )
+    elif cwp >= mwp:
+        case = "memory-bound"
+        exec_cycles = (
+            inputs.mem_cycles * (n / mwp) + comp_per_period * (mwp - 1.0)
+        )
+    else:
+        case = "compute-bound"
+        exec_cycles = inputs.mem_latency + inputs.comp_cycles * n
+    return MWPCWPResult(
+        mwp=mwp,
+        cwp=cwp,
+        mwp_without_bw=mwp_without_bw,
+        mwp_peak_bw=mwp_peak_bw,
+        case=case,
+        exec_cycles_one_wave=exec_cycles,
+    )
+
+
+@dataclass(frozen=True)
+class GPUPrediction:
+    """Predicted GPU offloading time with its model internals."""
+
+    region_name: str
+    gpu_name: str
+    plan: GPULaunchPlan
+    mwp: float
+    cwp: float
+    case: str
+    coalesced_insts: float
+    uncoalesced_insts: float
+    mem_cycles: float
+    comp_cycles: float
+    exec_cycles: float  # total kernel cycles (all waves, all OMP reps)
+    kernel_seconds: float
+    launch_seconds: float
+    transfer: TransferEstimate
+    seconds: float  # total: kernel + launch + transfer
+
+
+def predict_gpu_time(
+    region_name: str,
+    loadout: InstructionLoadout,
+    ipda: BoundIPDA,
+    plan: GPULaunchPlan,
+    gpu: GPUDescriptor,
+    bus: InterconnectDescriptor,
+    bytes_to_device: int,
+    bytes_to_host: int,
+    num_reductions: int = 0,
+) -> GPUPrediction:
+    """Evaluate the extended Hong model for one kernel launch.
+
+    ``num_reductions`` counts band-wide reduction clauses: each adds a
+    block-level combining tree per thread block plus one global atomic per
+    block to the cycle estimate.
+
+    ``loadout`` gives per-work-item dynamic instruction counts;
+    ``ipda`` gives the runtime-bound coalescing class per static access.
+    The two join on static access order to split dynamic memory
+    instructions into coalesced and uncoalesced populations.
+    """
+    if len(loadout.access_weights) != len(ipda.accesses):
+        raise ValueError(
+            "loadout and IPDA disagree on the region's static accesses"
+        )
+
+    coal_w = 0.0
+    uncoal_w = 0.0
+    txn_weighted = 0.0
+    total_w = 0.0
+    for w, b in zip(loadout.access_weights, ipda.accesses):
+        if b.is_coalesced:
+            coal_w += w.weight
+        else:
+            uncoal_w += w.weight
+        txn_weighted += w.weight * b.transactions_per_access
+        total_w += w.weight
+
+    mem_insts = loadout.mem_insts
+    # Per-warp latencies: an uncoalesced request serialises its extra
+    # transactions behind the departure delay (Hong's Mem_L_Uncoal).
+    # Coalesced streams are priced at the Table III "Access on L2 Hit"
+    # latency — the adaptation to cached (Kepler+) architectures; the
+    # uncoalesced path pays the full DRAM latency plus serialisation,
+    # which deliberately over-accounts cache-friendly strided kernels
+    # (the SYRK/conv over-estimation Section IV.E discusses).
+    mean_txn = txn_weighted / total_w if total_w > 0 else 1.0
+    mem_l_coal = float(gpu.l2_latency)
+    mem_l_uncoal = gpu.mem_latency + (gpu.warp_size - 1) * DEPARTURE_DELAY_UNCOAL
+    if mem_insts > 0:
+        coal_ratio = coal_w / max(1e-12, coal_w + uncoal_w)
+    else:
+        coal_ratio = 1.0
+    mem_l = mem_l_coal * coal_ratio + mem_l_uncoal * (1.0 - coal_ratio)
+    departure = (
+        DEPARTURE_DELAY_COAL * coal_ratio
+        + DEPARTURE_DELAY_UNCOAL * mean_txn * (1.0 - coal_ratio)
+    )
+
+    mem_cycles = mem_l_uncoal * uncoal_w + mem_l_coal * coal_w
+
+    # Computation cycles: warp-instruction issue cost times dynamic count.
+    issue_cycles = max(
+        0.5,
+        gpu.warp_size
+        * gpu.warp_schedulers_per_sm
+        / gpu.cores_per_sm
+        / gpu.issue_rate,
+    )
+    comp_cycles = issue_cycles * (
+        loadout.fp_insts
+        + loadout.int_insts
+        + loadout.branch_insts
+        + SFU_ISSUE_WEIGHT * loadout.sfu_insts
+    )
+
+    # Bytes one warp moves per memory period (drives MWP_peak_BW).
+    load_bytes = mean_txn * gpu.sector_bytes
+
+    result = mwp_cwp(
+        MWPCWPInputs(
+            n_active_warps=plan.active_warps_per_sm,
+            mem_latency=mem_l,
+            departure_delay=departure,
+            mem_cycles=mem_cycles,
+            comp_cycles=comp_cycles,
+            mem_insts=mem_insts,
+            load_bytes_per_warp=load_bytes,
+            active_sms=plan.active_sms,
+        ),
+        gpu,
+    )
+
+    exec_cycles = result.exec_cycles_one_wave * plan.rep * plan.omp_rep
+    if num_reductions:
+        # block tree (log2(tpb) steps at FP latency) + one atomic per block,
+        # atomics overlapping across the memory partitions
+        tree = math.log2(max(2, plan.threads_per_block)) * gpu.fp_latency
+        atomics = plan.num_blocks * gpu.atomic_cycles / 16.0
+        exec_cycles += num_reductions * (tree * plan.rep + atomics)
+    kernel_seconds = gpu.cycles_to_seconds(exec_cycles)
+    transfer = estimate_transfer(bytes_to_device, bytes_to_host, bus)
+    launch_seconds = gpu.launch_overhead_us * 1e-6
+    return GPUPrediction(
+        region_name=region_name,
+        gpu_name=gpu.name,
+        plan=plan,
+        mwp=result.mwp,
+        cwp=result.cwp,
+        case=result.case,
+        coalesced_insts=coal_w,
+        uncoalesced_insts=uncoal_w,
+        mem_cycles=mem_cycles,
+        comp_cycles=comp_cycles,
+        exec_cycles=exec_cycles,
+        kernel_seconds=kernel_seconds,
+        launch_seconds=launch_seconds,
+        transfer=transfer,
+        seconds=kernel_seconds + launch_seconds + transfer.total_seconds,
+    )

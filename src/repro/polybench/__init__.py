@@ -1,0 +1,42 @@
+"""Polybench OpenMP kernels ported to the kernel IR.
+
+The evaluation workload of the paper: GEMM, MVT, 3MM, 2MM, ATAX, BICG,
+2DCONV, 3DCONV, COVAR, GESUMMV, SYR2K, SYRK and CORR, each with the
+``test`` (1100²) and ``benchmark`` (9600²) datasets.
+"""
+
+from .base import BENCHMARK_SIZE, MODES, TEST_SIZE, BenchmarkSpec, KernelCase
+from .linalg_mm import GEMM, THREE_MM, TWO_MM
+from .linalg_vec import ATAX, BICG, GESUMMV, MVT
+from .linalg_syrk import SYR2K, SYRK
+from .stencils import CONV2D, CONV3D, CONV3D_BENCHMARK_SIZE, CONV3D_TEST_SIZE
+from .datamining import CORR, CORR_EPS, COVAR
+from .suite import SUITE, all_kernel_cases, benchmark_by_name, kernel_count
+
+__all__ = [
+    "BENCHMARK_SIZE",
+    "MODES",
+    "TEST_SIZE",
+    "BenchmarkSpec",
+    "KernelCase",
+    "GEMM",
+    "THREE_MM",
+    "TWO_MM",
+    "ATAX",
+    "BICG",
+    "GESUMMV",
+    "MVT",
+    "SYR2K",
+    "SYRK",
+    "CONV2D",
+    "CONV3D",
+    "CONV3D_BENCHMARK_SIZE",
+    "CONV3D_TEST_SIZE",
+    "CORR",
+    "CORR_EPS",
+    "COVAR",
+    "SUITE",
+    "all_kernel_cases",
+    "benchmark_by_name",
+    "kernel_count",
+]

@@ -1,0 +1,59 @@
+"""The Polybench suite registry.
+
+13 benchmarks / 24 parallel kernels (the paper says "25 kernels from 12
+benchmarks" while listing 13 benchmark names; a kernel-by-kernel port of
+the listed programs yields 24 — the discrepancy is recorded in
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from .base import BenchmarkSpec, KernelCase, MODES
+from .datamining import CORR, COVAR
+from .linalg_mm import GEMM, THREE_MM, TWO_MM
+from .linalg_syrk import SYR2K, SYRK
+from .linalg_vec import ATAX, BICG, GESUMMV, MVT
+from .stencils import CONV2D, CONV3D
+
+__all__ = ["SUITE", "benchmark_by_name", "all_kernel_cases", "kernel_count"]
+
+#: All benchmarks, in the paper's Section IV.E listing order.
+SUITE: tuple[BenchmarkSpec, ...] = (
+    GEMM,
+    MVT,
+    THREE_MM,
+    TWO_MM,
+    ATAX,
+    BICG,
+    CONV2D,
+    CONV3D,
+    COVAR,
+    GESUMMV,
+    SYR2K,
+    SYRK,
+    CORR,
+)
+
+
+def benchmark_by_name(name: str) -> BenchmarkSpec:
+    """Look up a benchmark spec by name (case-insensitive)."""
+    key = name.strip().lower()
+    for spec in SUITE:
+        if spec.name == key:
+            return spec
+    raise KeyError(f"unknown benchmark {name!r}; known: {[s.name for s in SUITE]}")
+
+
+def all_kernel_cases(mode: str) -> list[KernelCase]:
+    """Every kernel of every benchmark at one dataset size."""
+    if mode not in MODES:
+        raise KeyError(f"mode must be one of {MODES}, got {mode!r}")
+    cases: list[KernelCase] = []
+    for spec in SUITE:
+        cases.extend(spec.kernels(mode))
+    return cases
+
+
+def kernel_count() -> int:
+    """Total parallel kernels across the suite."""
+    return sum(len(spec.build()) for spec in SUITE)

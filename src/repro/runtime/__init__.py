@@ -1,0 +1,31 @@
+"""OpenMP-style offloading runtime with target selection (Figure 2)."""
+
+from .device import AcceleratorDevice, Device, ExecutionRecord, HostDevice
+from .policies import (
+    AlwaysCPU,
+    AlwaysGPU,
+    ModelGuided,
+    Oracle,
+    Policy,
+    policy_by_name,
+)
+from .framework import LaunchRecord, OffloadingRuntime
+from .multi import DeviceOutcome, MultiDeviceRuntime, MultiLaunchRecord
+
+__all__ = [
+    "DeviceOutcome",
+    "MultiDeviceRuntime",
+    "MultiLaunchRecord",
+    "AcceleratorDevice",
+    "Device",
+    "ExecutionRecord",
+    "HostDevice",
+    "AlwaysCPU",
+    "AlwaysGPU",
+    "ModelGuided",
+    "Oracle",
+    "Policy",
+    "policy_by_name",
+    "LaunchRecord",
+    "OffloadingRuntime",
+]

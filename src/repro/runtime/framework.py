@@ -1,0 +1,101 @@
+"""The offloading decision runtime (Figure 2, end to end).
+
+``OffloadingRuntime`` owns the Program Attribute Database and the platform.
+``compile_region`` is the compile-time half: outline, analyse, store
+attributes.  ``launch`` is the runtime half: bind runtime values, ask the
+policy for a target, dispatch to that device, and record everything the
+experiments need (both device times are simulated so policies can be scored
+against the oracle without re-running).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..analysis import ProgramAttributeDatabase, RegionAttributes
+from ..ir import Region
+from ..machines import Platform
+from ..models import SelectionPrediction
+from .device import AcceleratorDevice, ExecutionRecord, HostDevice
+from .policies import ModelGuided, Policy
+
+__all__ = ["LaunchRecord", "OffloadingRuntime"]
+
+
+@dataclass(frozen=True)
+class LaunchRecord:
+    """Everything observed for one target-region launch."""
+
+    region_name: str
+    target: str  # device the policy chose
+    policy_name: str
+    prediction: SelectionPrediction | None
+    cpu_seconds: float  # measured (simulated) host time
+    gpu_seconds: float  # measured (simulated) device time incl. transfers
+    executed_seconds: float  # time of the chosen target
+
+    @property
+    def true_speedup(self) -> float:
+        """Actual GPU-offloading speedup (host / device)."""
+        return self.cpu_seconds / self.gpu_seconds
+
+    @property
+    def predicted_speedup(self) -> float | None:
+        return None if self.prediction is None else self.prediction.predicted_speedup
+
+    @property
+    def decision_correct(self) -> bool:
+        """Did the policy match the oracle?"""
+        oracle = "gpu" if self.gpu_seconds < self.cpu_seconds else "cpu"
+        return self.target == oracle
+
+    @property
+    def oracle_seconds(self) -> float:
+        return min(self.cpu_seconds, self.gpu_seconds)
+
+
+@dataclass
+class OffloadingRuntime:
+    """Compile-time + run-time halves of the decision framework."""
+
+    platform: Platform
+    policy: Policy = field(default_factory=ModelGuided)
+    num_threads: int | None = None  # host team size (None = all hw threads)
+    db: ProgramAttributeDatabase = field(default_factory=ProgramAttributeDatabase)
+
+    def __post_init__(self):
+        self._host = HostDevice(self.platform.host, num_threads=self.num_threads)
+        self._accel = AcceleratorDevice(self.platform.gpu, self.platform.bus)
+
+    # -- compile time -------------------------------------------------------
+    def compile_region(self, region: Region) -> RegionAttributes:
+        """Outline + analyse a region into the attribute database."""
+        return self.db.compile_region(region)
+
+    # -- run time -------------------------------------------------------------
+    def launch(self, region_name: str, env: Mapping[str, int]) -> LaunchRecord:
+        """Reach a target region with runtime values and dispatch it."""
+        attrs = self.db.lookup(region_name)
+        bound = attrs.bind(env)
+
+        cpu_rec: ExecutionRecord = self._host.execute(attrs.region, env)
+        gpu_rec: ExecutionRecord = self._accel.execute(attrs.region, env)
+
+        target, prediction = self.policy.choose(
+            bound,
+            self.platform,
+            num_threads=self.num_threads,
+            sim_cpu_seconds=cpu_rec.seconds,
+            sim_gpu_seconds=gpu_rec.seconds,
+        )
+        executed = cpu_rec.seconds if target == "cpu" else gpu_rec.seconds
+        return LaunchRecord(
+            region_name=region_name,
+            target=target,
+            policy_name=self.policy.name,
+            prediction=prediction,
+            cpu_seconds=cpu_rec.seconds,
+            gpu_seconds=gpu_rec.seconds,
+            executed_seconds=executed,
+        )

@@ -1,0 +1,139 @@
+"""Multi-accelerator target selection.
+
+Section II.A: "If the programming model allows it, the host may elect to
+schedule kernel execution either on the host itself or any of the
+available accelerators."  This module generalizes the binary CPU/GPU
+decision to a host plus any number of attached accelerators (Figure 1's
+topology): the models are evaluated once per candidate device and the
+lowest prediction wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..analysis import ProgramAttributeDatabase
+from ..calibrate import fit_model_calibration
+from ..ir import Region
+from ..machines import AcceleratorSlot, Platform
+from ..models import SelectionPrediction, predict_both
+from .device import AcceleratorDevice, HostDevice
+
+__all__ = ["DeviceOutcome", "MultiLaunchRecord", "MultiDeviceRuntime"]
+
+
+@dataclass(frozen=True)
+class DeviceOutcome:
+    """Prediction + measurement for one candidate device."""
+
+    device_name: str
+    kind: str  # "cpu" | "gpu"
+    predicted_seconds: float
+    measured_seconds: float
+
+
+@dataclass(frozen=True)
+class MultiLaunchRecord:
+    """Everything observed for one launch across all candidate devices."""
+
+    region_name: str
+    outcomes: tuple[DeviceOutcome, ...]
+    chosen: str  # device name the models selected
+
+    @property
+    def chosen_outcome(self) -> DeviceOutcome:
+        for o in self.outcomes:
+            if o.device_name == self.chosen:
+                return o
+        raise KeyError(self.chosen)  # pragma: no cover - construction invariant
+
+    @property
+    def oracle_name(self) -> str:
+        return min(self.outcomes, key=lambda o: o.measured_seconds).device_name
+
+    @property
+    def decision_correct(self) -> bool:
+        return self.chosen == self.oracle_name
+
+    @property
+    def executed_seconds(self) -> float:
+        return self.chosen_outcome.measured_seconds
+
+
+@dataclass
+class MultiDeviceRuntime:
+    """An offloading runtime choosing among host + N accelerators."""
+
+    platform: Platform
+    num_threads: int | None = None
+    db: ProgramAttributeDatabase = field(default_factory=ProgramAttributeDatabase)
+
+    def __post_init__(self):
+        if not self.platform.accelerators:
+            raise ValueError("MultiDeviceRuntime needs at least one accelerator")
+        self._host = HostDevice(self.platform.host, num_threads=self.num_threads)
+        self._accels = [
+            AcceleratorDevice(slot.gpu, slot.bus)
+            for slot in self.platform.accelerators
+        ]
+        self._calibrations: dict[str, object] = {}
+
+    def compile_region(self, region: Region):
+        return self.db.compile_region(region)
+
+    def _slot_prediction(
+        self, bound, slot: AcceleratorSlot
+    ) -> SelectionPrediction:
+        """Evaluate the models for one accelerator slot."""
+        view = Platform(
+            name=f"{self.platform.host.name}+{slot.gpu.name}",
+            host=self.platform.host,
+            accelerators=(slot,),
+        )
+        if view.name not in self._calibrations:
+            self._calibrations[view.name] = fit_model_calibration(
+                view, num_threads=self.num_threads
+            )
+        return predict_both(
+            bound,
+            view,
+            num_threads=self.num_threads,
+            calibration=self._calibrations[view.name],
+        )
+
+    def launch(self, region_name: str, env: Mapping[str, int]) -> MultiLaunchRecord:
+        """Predict every candidate device, dispatch to the best."""
+        attrs = self.db.lookup(region_name)
+        bound = attrs.bind(env)
+
+        outcomes: list[DeviceOutcome] = []
+        host_rec = self._host.execute(attrs.region, env)
+        host_pred = None
+        for slot, dev in zip(self.platform.accelerators, self._accels):
+            pred = self._slot_prediction(bound, slot)
+            if host_pred is None:
+                host_pred = pred.cpu.seconds
+                outcomes.append(
+                    DeviceOutcome(
+                        device_name=self._host.name,
+                        kind="cpu",
+                        predicted_seconds=pred.cpu.seconds,
+                        measured_seconds=host_rec.seconds,
+                    )
+                )
+            measured = dev.execute(attrs.region, env)
+            outcomes.append(
+                DeviceOutcome(
+                    device_name=dev.name,
+                    kind="gpu",
+                    predicted_seconds=pred.gpu.seconds,
+                    measured_seconds=measured.seconds,
+                )
+            )
+        chosen = min(outcomes, key=lambda o: o.predicted_seconds).device_name
+        return MultiLaunchRecord(
+            region_name=region_name,
+            outcomes=tuple(outcomes),
+            chosen=chosen,
+        )

@@ -1,0 +1,233 @@
+"""Functional reference executor.
+
+Interprets the kernel IR over numpy arrays — the correctness oracle for the
+Polybench ports (the timing simulators never touch data).  Interpretation
+is straightforward nested Python loops, so keep problem sizes small in
+tests (≤ 64 per dimension).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..ir import (
+    Bin,
+    Cmp,
+    ConstV,
+    If,
+    Load,
+    LocalAssign,
+    LocalDef,
+    LocalRef,
+    Loop,
+    ReduceStore,
+    Region,
+    ScalarArg,
+    Select,
+    Stmt,
+    Store,
+    Un,
+    VExpr,
+)
+
+__all__ = ["execute_region", "allocate_arrays", "ExecutionProfile"]
+
+
+class ExecutionProfile:
+    """Observation hooks for profile-guided modelling (Section IV.B).
+
+    Collects, per IR node identity, the dynamic trip counts of loops and
+    the taken-fraction of conditionals during functional execution — the
+    "profiling information" extension the paper sketches for improving on
+    the 128-iteration / 50%-branch abstractions.
+    """
+
+    def __init__(self) -> None:
+        self._loop_trips: dict[int, list[int]] = {}
+        self._branch_outcomes: dict[int, list[bool]] = {}
+
+    # -- recording (called by the executor) --------------------------------
+    def record_loop(self, loop, trips: int) -> None:
+        self._loop_trips.setdefault(id(loop), []).append(trips)
+
+    def record_branch(self, if_stmt, taken: bool) -> None:
+        self._branch_outcomes.setdefault(id(if_stmt), []).append(taken)
+
+    # -- queries (consumed by the models) -----------------------------------
+    def mean_trips(self, loop) -> float | None:
+        """Average observed trip count of a loop (None = never executed)."""
+        samples = self._loop_trips.get(id(loop))
+        if not samples:
+            return None
+        return sum(samples) / len(samples)
+
+    def taken_fraction(self, if_stmt) -> float | None:
+        """Observed probability that a conditional's then-branch runs."""
+        samples = self._branch_outcomes.get(id(if_stmt))
+        if not samples:
+            return None
+        return sum(samples) / len(samples)
+
+    @property
+    def observed_loops(self) -> int:
+        return len(self._loop_trips)
+
+    @property
+    def observed_branches(self) -> int:
+        return len(self._branch_outcomes)
+
+_BIN_FN = {
+    "add": np.add,
+    "sub": np.subtract,
+    "mul": np.multiply,
+    "div": np.divide,
+    "min": np.minimum,
+    "max": np.maximum,
+}
+_UN_FN = {
+    "neg": np.negative,
+    "sqrt": np.sqrt,
+    "abs": np.abs,
+    "exp": np.exp,
+}
+_CMP_FN = {
+    "lt": np.less,
+    "le": np.less_equal,
+    "gt": np.greater,
+    "ge": np.greater_equal,
+    "eq": np.equal,
+    "ne": np.not_equal,
+}
+
+
+def allocate_arrays(
+    region: Region,
+    env: Mapping[str, int],
+    *,
+    seed: int = 0,
+) -> dict[str, np.ndarray]:
+    """Allocate the region's arrays: inputs random, outputs zero-filled."""
+    rng = np.random.default_rng(seed)
+    out: dict[str, np.ndarray] = {}
+    for arr in region.arrays.values():
+        shape = tuple(int(dim.evaluate(env)) for dim in arr.shape)
+        if arr.is_input:
+            data = rng.uniform(0.1, 1.0, size=shape).astype(arr.dtype.np)
+        else:
+            data = np.zeros(shape, dtype=arr.dtype.np)
+        out[arr.name] = data
+    return out
+
+
+def execute_region(
+    region: Region,
+    arrays: Mapping[str, np.ndarray],
+    scalars: Mapping[str, float] | None = None,
+    env: Mapping[str, int] | None = None,
+    *,
+    profile: "ExecutionProfile | None" = None,
+) -> None:
+    """Run the region's loop nest, mutating output arrays in place.
+
+    ``env`` binds size parameters; ``scalars`` binds scalar kernel
+    arguments (``alpha``...).  Raises ``KeyError`` for anything unbound.
+    Pass an :class:`ExecutionProfile` to record trip counts and branch
+    outcomes for profile-guided modelling.
+    """
+    env = dict(env or {})
+    scalars = dict(scalars or {})
+    for name in region.scalar_args:
+        if name not in scalars:
+            raise KeyError(f"scalar argument {name!r} not supplied")
+    for name in region.arrays:
+        if name not in arrays:
+            raise KeyError(f"array {name!r} not supplied")
+
+    _exec_stmts(region.body, arrays, scalars, dict(env), {}, profile)
+
+
+def _exec_stmts(
+    stmts: list[Stmt],
+    arrays: Mapping[str, np.ndarray],
+    scalars: Mapping[str, float],
+    bindings: dict[str, float],
+    locals_: dict[str, float],
+    profile: "ExecutionProfile | None" = None,
+) -> None:
+    for s in stmts:
+        if isinstance(s, Loop):
+            start = int(s.start.evaluate(bindings))
+            count = int(s.count.evaluate(bindings))
+            if profile is not None:
+                profile.record_loop(s, count)
+            var = s.var.name
+            for k in range(start, start + count):
+                bindings[var] = k
+                _exec_stmts(s.body, arrays, scalars, bindings, locals_, profile)
+            bindings.pop(var, None)
+        elif isinstance(s, If):
+            taken = _eval(s.cond, arrays, scalars, bindings, locals_)
+            if profile is not None:
+                profile.record_branch(s, taken)
+            if taken:
+                _exec_stmts(s.then_body, arrays, scalars, bindings, locals_, profile)
+            else:
+                _exec_stmts(s.else_body, arrays, scalars, bindings, locals_, profile)
+        elif isinstance(s, ReduceStore):
+            idx = tuple(int(i.evaluate(bindings)) for i in s.idxs)
+            contribution = _eval(s.value, arrays, scalars, bindings, locals_)
+            arrays[s.array.name][idx] = _BIN_FN[s.op](
+                arrays[s.array.name][idx], contribution
+            )
+        elif isinstance(s, Store):
+            idx = tuple(int(i.evaluate(bindings)) for i in s.idxs)
+            arrays[s.array.name][idx] = _eval(
+                s.value, arrays, scalars, bindings, locals_
+            )
+        elif isinstance(s, LocalDef):
+            locals_[s.name] = _eval(s.init, arrays, scalars, bindings, locals_)
+        elif isinstance(s, LocalAssign):
+            if s.name not in locals_:
+                raise KeyError(f"assignment to undefined local %{s.name}")
+            locals_[s.name] = _eval(s.value, arrays, scalars, bindings, locals_)
+        else:  # pragma: no cover - validator precludes this
+            raise TypeError(f"cannot execute {type(s).__name__}")
+
+
+def _eval(
+    v: VExpr,
+    arrays: Mapping[str, np.ndarray],
+    scalars: Mapping[str, float],
+    bindings: Mapping[str, float],
+    locals_: Mapping[str, float],
+):
+    if isinstance(v, ConstV):
+        return v.value
+    if isinstance(v, ScalarArg):
+        return scalars[v.name]
+    if isinstance(v, LocalRef):
+        return locals_[v.name]
+    if isinstance(v, Load):
+        idx = tuple(int(i.evaluate(bindings)) for i in v.idxs)
+        return arrays[v.array.name][idx]
+    if isinstance(v, Bin):
+        return _BIN_FN[v.op](
+            _eval(v.lhs, arrays, scalars, bindings, locals_),
+            _eval(v.rhs, arrays, scalars, bindings, locals_),
+        )
+    if isinstance(v, Un):
+        return _UN_FN[v.op](_eval(v.operand, arrays, scalars, bindings, locals_))
+    if isinstance(v, Cmp):
+        return bool(
+            _CMP_FN[v.op](
+                _eval(v.lhs, arrays, scalars, bindings, locals_),
+                _eval(v.rhs, arrays, scalars, bindings, locals_),
+            )
+        )
+    if isinstance(v, Select):
+        if _eval(v.cond, arrays, scalars, bindings, locals_):
+            return _eval(v.if_true, arrays, scalars, bindings, locals_)
+        return _eval(v.if_false, arrays, scalars, bindings, locals_)
+    raise TypeError(f"cannot evaluate {type(v).__name__}")  # pragma: no cover

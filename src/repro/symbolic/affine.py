@@ -1,0 +1,123 @@
+"""Affine decomposition of symbolic expressions.
+
+IPDA (:mod:`repro.ipda`) needs to view an addressing expression such as
+``max * a + j`` as a linear form over a designated set of *iteration
+variables* (the loop induction variables of the nest) with symbolic
+coefficients: ``{a: [max], j: 1}, const = 0``.  The *inter-thread difference*
+of an access is then simply the coefficient of the parallelized induction
+variable — evaluated symbolically, so unknowns like ``[max]`` survive to be
+bound at runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from .expr import Add, Const, EvalError, Expr, FloorDiv, Max, Min, Mod, Mul, Sym, as_expr
+
+__all__ = ["AffineForm", "NonAffineError", "decompose_affine"]
+
+
+class NonAffineError(Exception):
+    """Raised when an expression is not affine in the requested variables."""
+
+
+@dataclass(frozen=True)
+class AffineForm:
+    """A linear form ``sum(coeffs[v] * v) + const`` over iteration variables.
+
+    ``coeffs`` maps variable names to symbolic coefficient expressions; the
+    coefficients and the constant may contain free symbols (runtime unknowns)
+    but never the iteration variables themselves.
+    """
+
+    coeffs: Mapping[str, Expr] = field(default_factory=dict)
+    const: Expr = field(default_factory=lambda: Const(0))
+
+    def coefficient(self, var: str) -> Expr:
+        """The (symbolic) coefficient of iteration variable ``var``."""
+        return self.coeffs.get(var, Const(0))
+
+    def free_symbols(self) -> frozenset[str]:
+        syms: set[str] = set(self.const.free_symbols())
+        for c in self.coeffs.values():
+            syms |= c.free_symbols()
+        return frozenset(syms)
+
+    def to_expr(self) -> Expr:
+        """Reassemble the affine form into a plain expression."""
+        e: Expr = self.const
+        for var, coeff in self.coeffs.items():
+            e = e + coeff * Sym(var)
+        return e
+
+    def evaluate(self, env: Mapping[str, float]) -> float:
+        """Evaluate with *all* variables and symbols bound in ``env``."""
+        try:
+            total = self.const.evaluate(env)
+            for var, coeff in self.coeffs.items():
+                total += coeff.evaluate(env) * env[var]
+            return total
+        except KeyError as exc:  # missing iteration variable
+            raise EvalError(f"unbound iteration variable {exc}") from exc
+
+
+def decompose_affine(expr: Expr | int, ivars: frozenset[str] | set[str]) -> AffineForm:
+    """Decompose ``expr`` as an affine form over the variables in ``ivars``.
+
+    Variables in ``ivars`` are recognised as :class:`Sym` nodes whose name is
+    in the set.  Any product of two iteration variables, or an iteration
+    variable inside ``//``/``%``/``min``/``max``, makes the expression
+    non-affine and raises :class:`NonAffineError`.
+    """
+    expr = as_expr(expr)
+    ivars = frozenset(ivars)
+    coeffs, const = _decompose(expr, ivars)
+    coeffs = {v: c for v, c in coeffs.items() if c.constant_value() != 0}
+    return AffineForm(coeffs=coeffs, const=const)
+
+
+def _decompose(expr: Expr, ivars: frozenset[str]) -> tuple[dict[str, Expr], Expr]:
+    if isinstance(expr, Const):
+        return {}, expr
+    if isinstance(expr, Sym):
+        if expr.name in ivars:
+            return {expr.name: Const(1)}, Const(0)
+        return {}, expr
+    if isinstance(expr, Add):
+        coeffs: dict[str, Expr] = {}
+        const: Expr = Const(0)
+        for term in expr.terms:
+            tcoeffs, tconst = _decompose(term, ivars)
+            const = const + tconst
+            for v, c in tcoeffs.items():
+                coeffs[v] = coeffs.get(v, Const(0)) + c
+        return coeffs, const
+    if isinstance(expr, Mul):
+        # Exactly one factor may involve iteration variables (else nonlinear).
+        coeffs: dict[str, Expr] = {}
+        linear_part: tuple[dict[str, Expr], Expr] | None = None
+        outside: Expr = Const(1)
+        for factor in expr.factors:
+            if factor.free_symbols() & ivars:
+                if linear_part is not None:
+                    raise NonAffineError(
+                        f"product of iteration variables in {expr!r}"
+                    )
+                linear_part = _decompose(factor, ivars)
+            else:
+                outside = Mul.make((outside, factor))
+        if linear_part is None:
+            return {}, expr
+        fcoeffs, fconst = linear_part
+        for v, c in fcoeffs.items():
+            coeffs[v] = Mul.make((outside, c))
+        return coeffs, Mul.make((outside, fconst))
+    if isinstance(expr, (FloorDiv, Mod, Min, Max)):
+        if expr.free_symbols() & ivars:
+            raise NonAffineError(
+                f"iteration variable under non-affine operator in {expr!r}"
+            )
+        return {}, expr
+    raise NonAffineError(f"unsupported expression node {type(expr).__name__}")

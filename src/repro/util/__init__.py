@@ -1,0 +1,13 @@
+"""Shared utilities: statistics and report formatting."""
+
+from .stats import correlation, geomean, mean_absolute_log_error, summarize_ratio
+from .tables import render_kv, render_table
+
+__all__ = [
+    "correlation",
+    "geomean",
+    "mean_absolute_log_error",
+    "summarize_ratio",
+    "render_kv",
+    "render_table",
+]

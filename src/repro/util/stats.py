@@ -1,0 +1,58 @@
+"""Small statistics helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+__all__ = ["geomean", "mean_absolute_log_error", "correlation", "summarize_ratio"]
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; raises on empty input or non-positive values."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def mean_absolute_log_error(
+    predicted: Sequence[float], actual: Sequence[float]
+) -> float:
+    """Mean |log10(pred/actual)| — the natural error metric for speedups."""
+    if len(predicted) != len(actual) or not predicted:
+        raise ValueError("sequences must be equal-length and non-empty")
+    total = 0.0
+    for p, a in zip(predicted, actual):
+        if p <= 0 or a <= 0:
+            raise ValueError("values must be positive")
+        total += abs(math.log10(p / a))
+    return total / len(predicted)
+
+
+def correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need two equal-length sequences of >= 2 points")
+    n = len(xs)
+    mx = sum(xs) / n
+    my = sum(ys) / n
+    cov = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    vx = sum((x - mx) ** 2 for x in xs)
+    vy = sum((y - my) ** 2 for y in ys)
+    if vx == 0 or vy == 0:
+        raise ValueError("zero variance")
+    return cov / math.sqrt(vx * vy)
+
+
+def summarize_ratio(values: Sequence[float]) -> dict[str, float]:
+    """min / geomean / max summary of a set of ratios."""
+    if not values:
+        raise ValueError("empty sequence")
+    return {
+        "min": min(values),
+        "geomean": geomean(values),
+        "max": max(values),
+    }

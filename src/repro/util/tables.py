@@ -1,0 +1,70 @@
+"""Plain-text table rendering for experiment reports.
+
+The harness prints paper-style tables to stdout; this keeps the formatting
+in one place and deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "render_kv"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+    align_right: bool = True,
+) -> str:
+    """Render an ASCII table with auto-sized columns.
+
+    The first column is always left-aligned (row labels); the rest follow
+    ``align_right`` (numbers read better right-aligned).
+    """
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    ncols = max(len(r) for r in cells)
+    for r in cells:
+        r.extend([""] * (ncols - len(r)))
+    widths = [max(len(r[i]) for r in cells) for i in range(ncols)]
+
+    def fmt_row(row: list[str]) -> str:
+        parts = []
+        for i, cell in enumerate(row):
+            if i == 0 or not align_right:
+                parts.append(cell.ljust(widths[i]))
+            else:
+                parts.append(cell.rjust(widths[i]))
+        return "| " + " | ".join(parts) + " |"
+
+    sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(sep)
+    lines.append(fmt_row(cells[0]))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(fmt_row(row))
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def render_kv(pairs: Sequence[tuple[str, object]], *, title: str | None = None) -> str:
+    """Render key/value parameter listings (Table II / III style)."""
+    width = max(len(k) for k, _ in pairs) if pairs else 0
+    lines = [title] if title else []
+    for k, v in pairs:
+        lines.append(f"  {k.ljust(width)} : {_fmt(v)}")
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)

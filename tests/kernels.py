@@ -1,0 +1,70 @@
+"""Shared hand-built kernels for tests (small, self-contained regions)."""
+
+from repro.ir import Region
+
+
+def build_gemm() -> Region:
+    """C = alpha*A*B + beta*C with parallel i loop."""
+    r = Region("gemm")
+    ni, nj, nk = r.param_tuple("ni", "nj", "nk")
+    A = r.array("A", (ni, nk))
+    B = r.array("B", (nk, nj))
+    C = r.array("C", (ni, nj), inout=True)
+    alpha, beta = r.scalars("alpha", "beta")
+    with r.parallel_loop("i", ni) as i:
+        with r.loop("j", nj) as j:
+            acc = r.local("acc", C[i, j] * beta)
+            with r.loop("k", nk) as k:
+                r.assign(acc, acc + alpha * A[i, k] * B[k, j])
+            r.store(C[i, j], acc)
+    return r
+
+
+def build_vecadd() -> Region:
+    """z = x + y, the simplest coalesced parallel loop."""
+    r = Region("vecadd")
+    n = r.param("n")
+    x = r.array("x", (n,))
+    y = r.array("y", (n,))
+    z = r.array("z", (n,), output=True)
+    with r.parallel_loop("i", n) as i:
+        r.store(z[i], x[i] + y[i])
+    return r
+
+
+def build_strided_store(factor_param: str = "max") -> Region:
+    """The paper's Section IV.C example: A[max * a] = 1.0."""
+    r = Region("strided")
+    mx = r.param(factor_param)
+    A = r.array("A", (mx * mx,), output=True)
+    with r.parallel_loop("a", mx) as a:
+        r.store(A[mx.sym * a], 1.0)
+    return r
+
+
+def build_colwise() -> Region:
+    """y[j] = sum_i A[i][j] — parallel over columns, stride-1 across threads."""
+    r = Region("colsum")
+    n = r.param("n")
+    A = r.array("A", (n, n))
+    y = r.array("y", (n,), output=True)
+    with r.parallel_loop("j", n) as j:
+        acc = r.local("acc", 0.0)
+        with r.loop("i", n) as i:
+            r.assign(acc, acc + A[i, j])
+        r.store(y[j], acc)
+    return r
+
+
+def build_rowwise() -> Region:
+    """y[i] = sum_j A[i][j] — parallel over rows, stride-n across threads."""
+    r = Region("rowsum")
+    n = r.param("n")
+    A = r.array("A", (n, n))
+    y = r.array("y", (n,), output=True)
+    with r.parallel_loop("i", n) as i:
+        acc = r.local("acc", 0.0)
+        with r.loop("j", n) as j:
+            r.assign(acc, acc + A[i, j])
+        r.store(y[i], acc)
+    return r

@@ -1,0 +1,163 @@
+"""Unit tests for feature extraction, trip abstractions and the attribute DB."""
+
+import pytest
+
+from repro.analysis import (
+    PAPER_LOOP_TRIPS,
+    ProgramAttributeDatabase,
+    extract_loadout,
+    hybrid_trips,
+    paper_trip_abstraction,
+    runtime_trips,
+)
+from repro.ir import Region, cmp, memory_accesses
+from repro.symbolic import EvalError
+
+from .kernels import build_gemm, build_rowwise, build_vecadd
+
+
+class TestTripFunctions:
+    def test_paper_abstraction_is_128(self):
+        r = build_gemm()
+        loop = r.body[0].body[0]  # the j loop
+        assert paper_trip_abstraction(loop) == PAPER_LOOP_TRIPS == 128
+
+    def test_runtime_trips(self):
+        r = build_gemm()
+        j_loop = r.body[0].body[0]
+        assert runtime_trips({"nj": 1100})(j_loop) == 1100.0
+
+    def test_runtime_trips_missing_raises(self):
+        r = build_gemm()
+        j_loop = r.body[0].body[0]
+        with pytest.raises(EvalError):
+            runtime_trips({})(j_loop)
+
+    def test_hybrid_falls_back(self):
+        r = build_gemm()
+        j_loop = r.body[0].body[0]
+        assert hybrid_trips({})(j_loop) == 128.0
+        assert hybrid_trips({"nj": 9600})(j_loop) == 9600.0
+
+
+class TestLoadout:
+    def test_vecadd_counts(self):
+        lo = extract_loadout(build_vecadd(), paper_trip_abstraction)
+        assert lo.load_insts == 2
+        assert lo.store_insts == 1
+        assert lo.fp_insts == 1
+        assert lo.mem_insts == 3
+
+    def test_rowwise_scales_with_trips(self):
+        lo128 = extract_loadout(build_rowwise(), paper_trip_abstraction)
+        lo_rt = extract_loadout(build_rowwise(), runtime_trips({"n": 1024}))
+        assert lo_rt.load_insts == 1024
+        assert lo128.load_insts == 128
+        # one store of y[i] per work item regardless of trips
+        assert lo128.store_insts == lo_rt.store_insts == 1
+
+    def test_gemm_counts_under_abstraction(self):
+        lo = extract_loadout(build_gemm(), paper_trip_abstraction)
+        # j loop (128) x k loop (128): 2 loads per k-iter
+        assert lo.load_insts == pytest.approx(128 * 128 * 2 + 128)  # + C load
+        assert lo.store_insts == 128
+        # 2 fp (mul+mul... fused counting: alpha*A*B = 2 muls + 1 add) per k
+        assert lo.fp_insts > 128 * 128 * 2
+
+    def test_branch_weighting(self):
+        r = Region("cond")
+        n = r.param("n")
+        A = r.array("A", (n,), inout=True)
+        with r.parallel_loop("i", n) as i:
+            with r.if_(cmp("gt", A[i], 0.0)):
+                r.store(A[i], 0.0)
+        lo = extract_loadout(r, paper_trip_abstraction)
+        # the guarded store counts at probability 0.5
+        assert lo.store_insts == 0.5
+        assert lo.branch_insts == 1.0
+
+    def test_access_weights_align_with_ipda_order(self):
+        from repro.ipda import analyze_region
+
+        r = build_gemm()
+        lo = extract_loadout(r, paper_trip_abstraction)
+        accesses = memory_accesses(r)
+        ipda = analyze_region(r)
+        assert len(lo.access_weights) == len(accesses) == len(ipda.accesses)
+        for w, acc in zip(lo.access_weights, accesses):
+            assert w.array_name == acc.array.name
+            assert w.is_store == acc.is_store
+
+    def test_arithmetic_intensity_finite(self):
+        lo = extract_loadout(build_gemm(), paper_trip_abstraction)
+        ai = lo.arithmetic_intensity()
+        assert 0 < ai < 10
+
+    def test_comp_includes_sfu_and_branches(self):
+        from repro.ir import sqrt
+
+        r = Region("s")
+        n = r.param("n")
+        A = r.array("A", (n,), inout=True)
+        with r.parallel_loop("i", n) as i:
+            r.store(A[i], sqrt(A[i]))
+        lo = extract_loadout(r, paper_trip_abstraction)
+        assert lo.sfu_insts == 1
+        assert lo.comp_insts >= lo.sfu_insts
+
+
+class TestAttributeDatabase:
+    def test_compile_and_lookup(self):
+        db = ProgramAttributeDatabase()
+        attrs = db.compile_region(build_gemm())
+        assert db.lookup("gemm") is attrs
+        assert "gemm" in db
+        assert len(db) == 1
+
+    def test_duplicate_compile_rejected(self):
+        db = ProgramAttributeDatabase()
+        db.compile_region(build_gemm())
+        with pytest.raises(KeyError):
+            db.compile_region(build_gemm())
+
+    def test_lookup_missing_raises(self):
+        with pytest.raises(KeyError):
+            ProgramAttributeDatabase().lookup("nope")
+
+    def test_compile_validates(self):
+        db = ProgramAttributeDatabase()
+        r = Region("seq")
+        n = r.param("n")
+        A = r.array("A", (n,), output=True)
+        with r.loop("i", n) as i:  # not parallel: invalid region
+            r.store(A[i], 0.0)
+        with pytest.raises(ValueError):
+            db.compile_region(r)
+
+    def test_bind_completes_record(self):
+        db = ProgramAttributeDatabase()
+        attrs = db.compile_region(build_gemm())
+        env = {"ni": 1100, "nj": 1100, "nk": 1100}
+        bound = attrs.bind(env)
+        assert bound.parallel_iterations == 1100
+        assert bound.bytes_to_device == 3 * 1100 * 1100 * 4
+        assert bound.bytes_to_host == 1100 * 1100 * 4
+        # runtime loadout uses actual inner trips
+        assert bound.loadout.load_insts == pytest.approx(1100 * 1100 * 2 + 1100)
+
+    def test_bind_requires_parallel_extent(self):
+        db = ProgramAttributeDatabase()
+        attrs = db.compile_region(build_gemm())
+        with pytest.raises(KeyError):
+            attrs.bind({"nj": 1100, "nk": 1100})  # ni missing
+
+    def test_static_loadout_uses_abstraction(self):
+        db = ProgramAttributeDatabase()
+        attrs = db.compile_region(build_gemm())
+        assert attrs.static_loadout.store_insts == 128
+
+    def test_region_names_sorted(self):
+        db = ProgramAttributeDatabase()
+        db.compile_region(build_vecadd())
+        db.compile_region(build_gemm())
+        assert db.region_names() == ["gemm", "vecadd"]

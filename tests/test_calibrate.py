@@ -1,0 +1,126 @@
+"""Unit tests for the microbenchmark calibration package."""
+
+import pytest
+
+from repro.calibrate import (
+    build_dot_rows,
+    build_empty_body,
+    build_strided_walk,
+    build_triad,
+    chase_latency,
+    fit_model_calibration,
+    measure_parallel_overhead,
+    overhead_curve,
+    probe_gpu_latencies,
+    probe_tlb,
+    simulate_page_walk,
+)
+from repro.ir import validate_region
+from repro.machines import (
+    PLATFORM_P9_V100,
+    POWER8,
+    POWER9,
+    TESLA_K80,
+    TESLA_V100,
+)
+
+
+class TestProbeKernels:
+    def test_all_probe_kernels_validate(self):
+        for build in (build_triad, build_dot_rows, build_empty_body):
+            validate_region(build())
+        validate_region(build_strided_walk())
+
+    def test_strided_walk_has_symbolic_stride(self):
+        from repro.ipda import analyze_region
+        from repro.symbolic import Sym
+
+        res = analyze_region(build_strided_walk())
+        (acc,) = res.accesses
+        assert acc.thread_stride == Sym("s")
+
+
+class TestTLBProbe:
+    def test_recovers_table2_values(self):
+        res = probe_tlb(POWER9)
+        assert res.measured_entries == POWER9.tlb_entries == 1024
+        assert res.measured_miss_penalty_cycles == POWER9.tlb_miss_penalty == 14
+
+    def test_fitting_working_set_is_free(self):
+        assert simulate_page_walk(POWER9, POWER9.tlb_entries) == 0.0
+
+    def test_thrashing_costs_full_penalty(self):
+        cost = simulate_page_walk(POWER9, POWER9.tlb_entries * 4)
+        assert cost == pytest.approx(POWER9.tlb_miss_penalty)
+
+    def test_invalid_pages(self):
+        with pytest.raises(ValueError):
+            simulate_page_walk(POWER9, 0)
+
+
+class TestGPULatencyProbe:
+    def test_recovers_table3_latencies(self):
+        probe = probe_gpu_latencies(TESLA_V100)
+        assert probe.l1_latency == TESLA_V100.l1_latency
+        assert probe.l2_latency == TESLA_V100.l2_latency
+        assert probe.dram_latency == TESLA_V100.mem_latency
+
+    def test_k80_latencies(self):
+        probe = probe_gpu_latencies(TESLA_K80)
+        assert probe.l1_latency == TESLA_K80.l1_latency
+        assert probe.dram_latency == TESLA_K80.mem_latency
+
+    def test_latency_monotone_in_footprint(self):
+        small = chase_latency(TESLA_V100, 16 * 1024)
+        mid = chase_latency(TESLA_V100, 1024 * 1024)
+        big = chase_latency(TESLA_V100, 512 * 1024 * 1024)
+        assert small < mid < big
+
+    def test_invalid_footprint(self):
+        with pytest.raises(ValueError):
+            chase_latency(TESLA_V100, 0)
+
+
+class TestEPCC:
+    def test_baseline_matches_table2_sum(self):
+        m = measure_parallel_overhead(POWER9, 8)
+        expected = (
+            POWER9.par_startup_cycles
+            + POWER9.par_schedule_static_cycles
+            + POWER9.sync_cycles
+        )
+        assert m.overhead_cycles == pytest.approx(expected, rel=0.05)
+
+    def test_curve_is_monotone(self):
+        curve = overhead_curve(POWER9, (8, 32, 160))
+        cycles = [m.overhead_cycles for m in curve]
+        assert cycles == sorted(cycles)
+        assert cycles[-1] > 20 * cycles[0]
+
+    def test_curve_respects_hardware_limit(self):
+        curve = overhead_curve(POWER8, (8, 160, 999))
+        assert max(m.num_threads for m in curve) == 160
+
+
+class TestModelFit:
+    def test_fit_produces_positive_scales(self):
+        cal = fit_model_calibration(PLATFORM_P9_V100)
+        assert cal.cpu_time_scale > 0
+        assert cal.gpu_time_scale > 0
+        assert cal.platform_name == "POWER9+V100"
+
+    def test_fit_is_roughly_centred_for_cpu(self):
+        # after structural calibration the CPU model tracks the probes
+        cal = fit_model_calibration(PLATFORM_P9_V100)
+        assert 0.3 < cal.cpu_time_scale < 3.0
+
+    def test_fit_depends_on_team_size(self):
+        full = fit_model_calibration(PLATFORM_P9_V100)
+        four = fit_model_calibration(PLATFORM_P9_V100, num_threads=4)
+        assert full.num_threads is None and four.num_threads == 4
+
+    def test_invalid_scales_rejected(self):
+        from repro.calibrate import ModelCalibration
+
+        with pytest.raises(ValueError):
+            ModelCalibration("x", None, cpu_time_scale=0.0, gpu_time_scale=1.0)

@@ -1,0 +1,54 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_artefact_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["table1"])
+        assert args.artefact == "table1"
+
+    def test_select_defaults(self):
+        args = build_parser().parse_args(["select", "gemm"])
+        assert args.benchmark == "gemm"
+        assert args.platform == "p9-v100"
+        assert args.mode == "benchmark"
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nonsense"])
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["select", "gemm", "--mode", "huge"])
+
+
+class TestCommands:
+    def test_probe_tlb(self, capsys):
+        assert main(["probe", "tlb"]) == 0
+        out = capsys.readouterr().out
+        assert "1024 TLB entries" in out
+
+    def test_probe_gpu(self, capsys):
+        assert main(["probe", "gpu"]) == 0
+        assert "L2 193" in capsys.readouterr().out
+
+    def test_probe_epcc(self, capsys):
+        assert main(["probe", "epcc"]) == 0
+        assert "x160" in capsys.readouterr().out.replace(" ", "")
+
+    def test_table2_artefact(self, capsys):
+        assert main(["table2"]) == 0
+        assert "Table II" in capsys.readouterr().out
+
+    def test_figure45_artefact(self, capsys):
+        assert main(["figure45"]) == 0
+        assert "MWP" in capsys.readouterr().out
+
+    def test_select_runs(self, capsys):
+        assert main(["select", "atax", "--mode", "test", "--threads", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "atax_k1" in out and "atax_k2" in out

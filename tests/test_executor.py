@@ -1,0 +1,113 @@
+"""Unit tests for the functional numpy executor."""
+
+import numpy as np
+import pytest
+
+from repro.ir import Region, cmp, select, sqrt
+from repro.sim import allocate_arrays, execute_region
+
+from .kernels import build_gemm, build_vecadd
+
+
+class TestExecuteRegion:
+    def test_vecadd(self):
+        r = build_vecadd()
+        arrays = allocate_arrays(r, {"n": 16}, seed=1)
+        execute_region(r, arrays, {}, {"n": 16})
+        np.testing.assert_allclose(
+            arrays["z"], arrays["x"] + arrays["y"], rtol=1e-6
+        )
+
+    def test_gemm_matches_numpy(self):
+        r = build_gemm()
+        env = {"ni": 5, "nj": 7, "nk": 3}
+        arrays = allocate_arrays(r, env, seed=2)
+        before = arrays["C"].copy()
+        execute_region(r, arrays, {"alpha": 2.0, "beta": 0.5}, env)
+        expected = 2.0 * arrays["A"] @ arrays["B"] + 0.5 * before
+        np.testing.assert_allclose(arrays["C"], expected, rtol=1e-4)
+
+    def test_missing_scalar_raises(self):
+        r = build_gemm()
+        arrays = allocate_arrays(r, {"ni": 2, "nj": 2, "nk": 2})
+        with pytest.raises(KeyError):
+            execute_region(r, arrays, {"alpha": 1.0}, {"ni": 2, "nj": 2, "nk": 2})
+
+    def test_missing_array_raises(self):
+        r = build_vecadd()
+        with pytest.raises(KeyError):
+            execute_region(r, {}, {}, {"n": 4})
+
+    def test_loop_with_offset_start(self):
+        r = Region("interior")
+        n = r.param("n")
+        A = r.array("A", (n,))
+        B = r.array("B", (n,), output=True)
+        with r.parallel_loop("i", n - 2, start=1) as i:
+            r.store(B[i], A[i - 1] + A[i + 1])
+        arrays = allocate_arrays(r, {"n": 8}, seed=3)
+        execute_region(r, arrays, {}, {"n": 8})
+        a = arrays["A"]
+        np.testing.assert_allclose(arrays["B"][1:-1], a[:-2] + a[2:], rtol=1e-6)
+        assert arrays["B"][0] == 0.0 and arrays["B"][-1] == 0.0
+
+    def test_if_statement(self):
+        r = Region("clamp")
+        n = r.param("n")
+        A = r.array("A", (n,), inout=True)
+        with r.parallel_loop("i", n) as i:
+            with r.if_(cmp("gt", A[i], 0.5)):
+                r.store(A[i], 0.5)
+        arrays = {"A": np.array([0.2, 0.9, 0.5, 0.7], dtype=np.float32)}
+        execute_region(r, arrays, {}, {"n": 4})
+        np.testing.assert_allclose(arrays["A"], [0.2, 0.5, 0.5, 0.5])
+
+    def test_select_and_sqrt(self):
+        r = Region("guard")
+        n = r.param("n")
+        A = r.array("A", (n,))
+        B = r.array("B", (n,), output=True)
+        eps = r.scalar("eps")
+        with r.parallel_loop("i", n) as i:
+            r.store(B[i], select(cmp("le", A[i], eps), 1.0, sqrt(A[i])))
+        arrays = {
+            "A": np.array([0.04, 0.25, 0.0], dtype=np.float32),
+            "B": np.zeros(3, dtype=np.float32),
+        }
+        execute_region(r, arrays, {"eps": 0.1}, {"n": 3})
+        np.testing.assert_allclose(arrays["B"], [1.0, 0.5, 1.0], rtol=1e-6)
+
+    def test_local_accumulator_sequencing(self):
+        # two interleaved accumulators must not clobber each other
+        r = Region("two_accs")
+        n = r.param("n")
+        A = r.array("A", (n,))
+        out = r.array("out", (2,), output=True)
+        with r.parallel_loop("k", 1) as k:
+            s = r.local("s", 0.0)
+            p = r.local("p", 1.0)
+            with r.loop("i", n) as i:
+                r.assign(s, s + A[i])
+                r.assign(p, p * A[i])
+            r.store(out[k + 0], s)
+            r.store(out[k + 1], p)
+        arrays = {
+            "A": np.array([2.0, 3.0, 4.0], dtype=np.float32),
+            "out": np.zeros(2, dtype=np.float32),
+        }
+        execute_region(r, arrays, {}, {"n": 3})
+        np.testing.assert_allclose(arrays["out"], [9.0, 24.0])
+
+
+class TestAllocateArrays:
+    def test_inputs_random_outputs_zero(self):
+        r = build_vecadd()
+        arrays = allocate_arrays(r, {"n": 32})
+        assert arrays["x"].min() > 0  # random inputs in (0.1, 1.0)
+        assert not arrays["z"].any()  # outputs zero-filled
+
+    def test_deterministic_by_seed(self):
+        r = build_vecadd()
+        a = allocate_arrays(r, {"n": 8}, seed=7)
+        b = allocate_arrays(r, {"n": 8}, seed=7)
+        np.testing.assert_array_equal(a["x"], b["x"])

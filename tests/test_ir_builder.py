@@ -1,0 +1,219 @@
+"""Unit tests for the IR builder, regions and printer."""
+
+import pytest
+
+from repro.ir import (
+    Bin,
+    Load,
+    Loop,
+    Region,
+    Store,
+    ValidationError,
+    cmp,
+    region_to_text,
+    select,
+    sqrt,
+    validate_region,
+)
+from repro.symbolic import Const, Sym
+
+from .kernels import build_gemm, build_vecadd
+
+
+class TestBuilder:
+    def test_gemm_validates(self):
+        validate_region(build_gemm())
+
+    def test_vecadd_validates(self):
+        validate_region(build_vecadd())
+
+    def test_array_rank_checked(self):
+        r = Region("r")
+        n = r.param("n")
+        A = r.array("A", (n, n))
+        with pytest.raises(ValueError):
+            A[Sym("i")]  # rank-2 array, one index
+
+    def test_duplicate_array_rejected(self):
+        r = Region("r")
+        n = r.param("n")
+        r.array("A", (n,))
+        with pytest.raises(ValueError):
+            r.array("A", (n,))
+
+    def test_duplicate_scalar_rejected(self):
+        r = Region("r")
+        r.scalar("alpha")
+        with pytest.raises(ValueError):
+            r.scalar("alpha")
+
+    def test_duplicate_param_rejected(self):
+        r = Region("r")
+        r.param("n")
+        with pytest.raises(ValueError):
+            r.param("n")
+
+    def test_shadowed_loop_var_rejected(self):
+        r = Region("r")
+        n = r.param("n")
+        A = r.array("A", (n,), output=True)
+        with r.parallel_loop("i", n) as i:
+            with pytest.raises(ValueError):
+                with r.loop("i", n):
+                    pass
+            r.store(A[i], 0.0)
+
+    def test_locals_get_unique_names(self):
+        r = Region("r")
+        n = r.param("n")
+        A = r.array("A", (n,), output=True)
+        with r.parallel_loop("i", n) as i:
+            a = r.local("acc", 0.0)
+            b = r.local("acc", 1.0)
+            r.store(A[i], a + b)
+        assert a.name != b.name
+
+    def test_store_requires_array_element(self):
+        r = Region("r")
+        n = r.param("n")
+        r.array("A", (n,), output=True)
+        with r.parallel_loop("i", n):
+            with pytest.raises(TypeError):
+                r.store(3.0, 1.0)  # type: ignore[arg-type]
+
+    def test_assign_requires_local(self):
+        r = Region("r")
+        n = r.param("n")
+        A = r.array("A", (n,), output=True)
+        with r.parallel_loop("i", n) as i:
+            with pytest.raises(TypeError):
+                r.assign(A[i], 1.0)  # type: ignore[arg-type]
+
+
+class TestRegionQueries:
+    def test_parallel_band_single(self):
+        r = build_gemm()
+        band = r.parallel_band()
+        assert len(band) == 1
+        assert band[0].var.name == "i"
+
+    def test_parallel_band_collapse2(self):
+        r = Region("c2")
+        n, m = r.param_tuple("n", "m")
+        A = r.array("A", (n, m), output=True)
+        with r.parallel_loop("i", n) as i:
+            with r.parallel_loop("j", m) as j:
+                r.store(A[i, j], 0.0)
+        assert [lp.var.name for lp in r.parallel_band()] == ["i", "j"]
+        assert r.parallel_iterations() == Sym("n") * Sym("m")
+
+    def test_no_parallel_loop_raises(self):
+        r = Region("seq")
+        n = r.param("n")
+        A = r.array("A", (n,), output=True)
+        with r.loop("i", n) as i:
+            r.store(A[i], 0.0)
+        with pytest.raises(ValueError):
+            r.parallel_band()
+
+    def test_transfer_bytes_gemm(self):
+        r = build_gemm()
+        env = {"ni": 10, "nj": 20, "nk": 30}
+        to_dev, to_host = r.transfer_bytes(env)
+        # A: 10*30, B: 30*20, C: 10*20 floats (4 bytes)
+        assert to_dev == (300 + 600 + 200) * 4
+        assert to_host == 200 * 4
+
+    def test_free_symbols(self):
+        r = build_gemm()
+        assert r.free_symbols() == {"ni", "nj", "nk"}
+
+
+class TestValueExpressions:
+    def test_operator_sugar_builds_tree(self):
+        r = Region("r")
+        n = r.param("n")
+        A = r.array("A", (n,))
+        e = A[Sym("i")] * 2.0 + 1.0
+        assert isinstance(e, Bin) and e.op == "add"
+        assert isinstance(e.lhs, Bin) and e.lhs.op == "mul"
+
+    def test_sqrt_and_select(self):
+        r = Region("r")
+        n = r.param("n")
+        A = r.array("A", (n,))
+        x = A[Sym("i")]
+        guarded = select(cmp("le", x, 0.1), 1.0, sqrt(x))
+        assert guarded.if_true.value == 1.0
+
+    def test_load_flat_index_row_major(self):
+        r = Region("r")
+        n = r.param("n")
+        A = r.array("A", (n, n))
+        load = A[Sym("i"), Sym("j")]
+        assert load.flat_index() == Sym("i") * Sym("n") + Sym("j")
+
+    def test_unknown_ops_rejected(self):
+        from repro.ir import ConstV, Un
+
+        with pytest.raises(ValueError):
+            Bin("xor", ConstV(1.0), ConstV(2.0))
+        with pytest.raises(ValueError):
+            Un("sin", ConstV(1.0))
+
+
+class TestValidator:
+    def test_catches_undeclared_array(self):
+        r = Region("bad")
+        n = r.param("n")
+        r.array("A", (n,), output=True)
+        other = Region("other")
+        m = other.param("m")
+        B = other.array("B", (m,))
+        with r.parallel_loop("i", n) as i:
+            r.store(B[i], 1.0)  # B belongs to another region
+        with pytest.raises(ValidationError):
+            validate_region(r)
+
+    def test_catches_unbound_index_symbol(self):
+        r = Region("bad")
+        n = r.param("n")
+        A = r.array("A", (n,), output=True)
+        with r.parallel_loop("i", n):
+            r.store(A[Sym("q")], 1.0)  # q is neither param nor loop var
+        with pytest.raises(ValidationError):
+            validate_region(r)
+
+    def test_catches_inner_parallel_loop(self):
+        r = Region("bad")
+        n = r.param("n")
+        A = r.array("A", (n, n), output=True)
+        with r.parallel_loop("i", n) as i:
+            with r.loop("j", n) as j:
+                r.store(A[i, j], 0.0)
+        # graft an illegal inner parallel loop under the sequential j loop
+        inner = r.body[0].body[0]
+        assert isinstance(inner, Loop)
+        from repro.ir import IterVar
+
+        bad = Loop(IterVar("k"), Const(4), [], parallel=True)
+        inner.body.append(bad)
+        with pytest.raises(ValidationError):
+            validate_region(r)
+
+
+class TestPrinter:
+    def test_gemm_text_is_stable(self):
+        text = region_to_text(build_gemm())
+        assert "target region gemm" in text
+        assert "parallel for (i = 0" in text
+        assert "inout f32 C[[ni]][[nj]]" in text
+
+    def test_if_renders(self):
+        r = Region("r")
+        n = r.param("n")
+        A = r.array("A", (n,), inout=True)
+        with r.parallel_loop("i", n) as i:
+            with r.if_(cmp("gt", A[i], 0.0)):
+                r.store(A[i], 0.0)
+        assert "if (A[[i]] > 0)" in region_to_text(r)

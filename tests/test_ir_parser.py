@@ -1,0 +1,153 @@
+"""Round-trip tests for the textual region parser."""
+
+import numpy as np
+import pytest
+
+from repro.ir import ParseError, parse_region, region_to_text, validate_region
+from repro.polybench import SUITE
+from repro.sim import allocate_arrays, execute_region
+
+from .kernels import build_gemm, build_strided_store, build_vecadd
+
+
+def roundtrip(region):
+    text = region_to_text(region)
+    parsed = parse_region(text)
+    validate_region(parsed)
+    return parsed, text
+
+
+class TestRoundTrip:
+    def test_vecadd_fixed_point(self):
+        parsed, text = roundtrip(build_vecadd())
+        assert region_to_text(parsed) == text
+
+    def test_gemm_fixed_point(self):
+        parsed, text = roundtrip(build_gemm())
+        assert region_to_text(parsed) == text
+
+    def test_symbolic_stride_example(self):
+        parsed, text = roundtrip(build_strided_store())
+        assert region_to_text(parsed) == text
+
+    @pytest.mark.parametrize("spec", SUITE, ids=lambda s: s.name)
+    def test_every_polybench_kernel_roundtrips(self, spec):
+        for region in spec.build():
+            parsed, text = roundtrip(region)
+            assert region_to_text(parsed) == text, region.name
+
+    def test_parsed_region_executes_identically(self):
+        original = build_gemm()
+        parsed, _ = roundtrip(original)
+        env = {"ni": 5, "nj": 4, "nk": 3}
+        scalars = {"alpha": 1.5, "beta": 0.5}
+        a1 = allocate_arrays(original, env, seed=11)
+        a2 = {k: v.copy() for k, v in a1.items()}
+        execute_region(original, a1, scalars, env)
+        execute_region(parsed, a2, scalars, env)
+        np.testing.assert_array_equal(a1["C"], a2["C"])
+
+    def test_parsed_region_analyses_identically(self):
+        from repro.ipda import analyze_region
+
+        original = build_gemm()
+        parsed, _ = roundtrip(original)
+        env = {"ni": 64, "nj": 64, "nk": 64}
+        assert (
+            analyze_region(original).bind(env).counts()
+            == analyze_region(parsed).bind(env).counts()
+        )
+
+    def test_conditional_roundtrips(self):
+        from repro.ir import Region, cmp
+
+        r = Region("cond")
+        n = r.param("n")
+        A = r.array("A", (n,), inout=True)
+        with r.parallel_loop("i", n) as i:
+            with r.if_(cmp("gt", A[i], 0.5)):
+                r.store(A[i], 0.5)
+        parsed, text = roundtrip(r)
+        assert region_to_text(parsed) == text
+
+    def test_select_and_sqrt_roundtrip(self):
+        from repro.ir import Region, cmp, select, sqrt
+
+        r = Region("sel")
+        n = r.param("n")
+        A = r.array("A", (n,), inout=True)
+        eps = r.scalar("eps")
+        with r.parallel_loop("i", n) as i:
+            r.store(A[i], select(cmp("le", A[i], eps), 1.0, sqrt(A[i])))
+        parsed, text = roundtrip(r)
+        assert region_to_text(parsed) == text
+
+
+class TestErrors:
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_region("this is not a region")
+
+    def test_store_to_undeclared_array(self):
+        text = (
+            "target region bad {\n"
+            "  in f32 A[[n]]\n"
+            "  parallel for (i = 0; i < 0 + [n]; i++) {\n"
+            "    B[[i]] = 1;\n"
+            "  }\n"
+            "}"
+        )
+        with pytest.raises(ParseError):
+            parse_region(text)
+
+    def test_undefined_local_read(self):
+        text = (
+            "target region bad {\n"
+            "  out f32 A[[n]]\n"
+            "  parallel for (i = 0; i < 0 + [n]; i++) {\n"
+            "    A[[i]] = %ghost.1;\n"
+            "  }\n"
+            "}"
+        )
+        with pytest.raises(ParseError):
+            parse_region(text)
+
+    def test_mismatched_loop_variable(self):
+        text = (
+            "target region bad {\n"
+            "  out f32 A[[n]]\n"
+            "  parallel for (i = 0; j < 0 + [n]; i++) {\n"
+            "    A[[i]] = 1;\n"
+            "  }\n"
+            "}"
+        )
+        with pytest.raises(ParseError):
+            parse_region(text)
+
+    def test_unknown_dtype(self):
+        with pytest.raises(ParseError):
+            parse_region("target region r {\n  in f16 A[[n]]\n}")
+
+
+class TestHandWritten:
+    def test_kernel_authored_as_text(self):
+        """Regions can be written as text directly, not only round-tripped."""
+        text = """
+        target region axpy {
+          in f32 x[[n]]
+          inout f32 y[[n]]
+          scalar f32 a
+          parallel for (i = 0; i < [n]; i++) {
+            y[[i]] = (y[[i]] + (a * x[[i]]));
+          }
+        }
+        """
+        region = parse_region(text)
+        validate_region(region)
+        env = {"n": 16}
+        arrays = allocate_arrays(region, env, seed=5)
+        y0 = arrays["y"].copy()
+        execute_region(region, arrays, {"a": 2.0}, env)
+        np.testing.assert_allclose(
+            arrays["y"], y0 + 2.0 * arrays["x"], rtol=1e-6
+        )

@@ -1,0 +1,145 @@
+"""Analysis-level characteristics of the Polybench kernels.
+
+Verifies that the static analyses see the suite the way the paper
+describes it: coalescing verdicts, vectorization opportunities, loadout
+shapes — the inputs that drive all the reproduced tables.
+"""
+
+import pytest
+
+from repro.analysis import ProgramAttributeDatabase, nest_trips, extract_loadout
+from repro.ipda import CoalescingClass, analyze_region
+from repro.machines import POWER8, POWER9
+from repro.mca import find_band_level, lower_region
+from repro.polybench import all_kernel_cases, benchmark_by_name
+
+
+def _region(bench, k=0):
+    return benchmark_by_name(bench).build()[k]
+
+
+def _bound_ipda(bench, k=0, mode="test"):
+    spec = benchmark_by_name(bench)
+    return analyze_region(spec.build()[k]).bind(spec.env(mode))
+
+
+class TestCoalescingVerdicts:
+    def test_gemm_collapse2_mostly_coalesced(self):
+        bound = _bound_ipda("gemm")
+        verdicts = {
+            b.stride.access.array.name: b.coalescing for b in bound.accesses
+        }
+        # B[k][j] and C[i][j] coalesce along j; A[i][k] is uniform across j
+        assert verdicts["B"] is CoalescingClass.COALESCED
+        assert verdicts["C"] is CoalescingClass.COALESCED
+        assert verdicts["A"] is CoalescingClass.UNIFORM
+
+    def test_syrk_has_the_uncoalesced_walk(self):
+        bound = _bound_ipda("syrk")
+        classes = [b.coalescing for b in bound.accesses]
+        # A[j][k] walks a row per thread j: the paper's SYRK trouble spot
+        assert CoalescingClass.UNCOALESCED in classes
+
+    def test_atax_k2_coalesced(self):
+        bound = _bound_ipda("atax", k=1)
+        assert all(b.is_coalesced for b in bound.accesses)
+
+    def test_3dconv_uncoalesced_loads(self):
+        bound = _bound_ipda("3dconv")
+        loads = [b for b in bound.accesses if not b.stride.is_store]
+        # every access strides nk along the band var j: warp-instantaneous
+        # uncoalesced (the per-thread k-walk coalesces only via caches,
+        # which is exactly what the Hong model cannot see — Section IV.E)
+        assert all(
+            b.coalescing is CoalescingClass.UNCOALESCED for b in loads
+        )
+        stores = [b for b in bound.accesses if b.stride.is_store]
+        assert all(
+            s.coalescing is CoalescingClass.UNCOALESCED for s in stores
+        )
+
+    def test_mvt_transposed_kernel_uniformity(self):
+        bound = _bound_ipda("mvt", k=1)
+        verdicts = {
+            (b.stride.access.array.name, b.stride.is_store): b.coalescing
+            for b in bound.accesses
+        }
+        # A[j][i]: inter-thread stride 1 -> coalesced on the GPU
+        assert verdicts[("A", False)] is CoalescingClass.COALESCED
+
+    @pytest.mark.parametrize(
+        "case", all_kernel_cases("test"), ids=lambda c: c.name
+    )
+    def test_every_kernel_binds_cleanly(self, case):
+        bound = analyze_region(case.region).bind(case.env)
+        assert len(bound.accesses) >= 1
+        coal, uncoal = bound.counts()
+        assert coal + uncoal == len(bound.accesses)
+
+
+class TestVectorization:
+    def test_power9_band_vectorizes_gemm(self):
+        band = find_band_level(lower_region(_region("gemm"), POWER9))
+        assert band.is_band_vectorized()
+
+    def test_power8_cannot_band_vectorize_gemm(self):
+        band = find_band_level(lower_region(_region("gemm"), POWER8))
+        assert not band.info.vectorized
+
+    def test_power8_still_inner_vectorizes_atax_k1(self):
+        # row dot product: stride-1 innermost loop, VSX-2 handles it
+        root = lower_region(_region("atax", 0), POWER8)
+        band = find_band_level(root)
+        assert band.sub_loops[0].info.vectorized
+
+    def test_corr_main_kernel_middle_loop_vectorizes_on_p9(self):
+        root = lower_region(_region("corr", 3), POWER9)
+        band = find_band_level(root)
+        j2 = band.sub_loops[0]
+        assert j2.info.vectorized  # the paper's VSX-3 story
+        root8 = lower_region(_region("corr", 3), POWER8)
+        j2_p8 = find_band_level(root8).sub_loops[0]
+        assert not j2_p8.info.vectorized
+
+
+class TestLoadouts:
+    def test_gemm_arithmetic_intensity_beats_mvt(self):
+        env_g = benchmark_by_name("gemm").env("test")
+        env_m = benchmark_by_name("mvt").env("test")
+        gemm_lo = extract_loadout(
+            _region("gemm"), nest_trips(_region("gemm"), env_g)
+        )
+        # note: loadouts must be computed on the same region instance that
+        # nest_trips walked
+        gemm_region = _region("gemm")
+        gemm_lo = extract_loadout(gemm_region, nest_trips(gemm_region, env_g))
+        mvt_region = _region("mvt")
+        mvt_lo = extract_loadout(mvt_region, nest_trips(mvt_region, env_m))
+        assert gemm_lo.arithmetic_intensity() > 0
+        assert mvt_lo.arithmetic_intensity() > 0
+        # per-byte compute: GEMM (O(n) reuse) >= MVT (streaming)
+        assert gemm_lo.arithmetic_intensity() >= mvt_lo.arithmetic_intensity()
+
+    def test_conv_low_intensity(self):
+        region = _region("2dconv")
+        env = benchmark_by_name("2dconv").env("test")
+        lo = extract_loadout(region, nest_trips(region, env))
+        # "low arithmetic intensity and heavily memory-bound" (Section III)
+        assert lo.arithmetic_intensity() < 0.5
+
+    def test_corr_std_counts_sfu(self):
+        region = _region("corr", 1)
+        env = benchmark_by_name("corr").env("test")
+        lo = extract_loadout(region, nest_trips(region, env))
+        assert lo.sfu_insts >= 1  # the sqrt
+
+
+class TestAttributeDatabaseOverSuite:
+    def test_all_kernels_compile_and_bind(self):
+        db = ProgramAttributeDatabase()
+        for case in all_kernel_cases("test"):
+            attrs = db.compile_region(case.region)
+            bound = attrs.bind(case.env)
+            assert bound.parallel_iterations > 0
+            assert bound.bytes_to_device > 0
+        assert len(db) == 24

@@ -1,0 +1,121 @@
+"""Functional correctness of every Polybench kernel against numpy oracles.
+
+Each benchmark's kernels are interpreted in program order by the reference
+executor on small random inputs and compared against the numpy reference.
+This validates the IR ports themselves — everything downstream (features,
+IPDA, models, simulators) analyses these exact regions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ir import validate_region
+from repro.polybench import SUITE, all_kernel_cases, benchmark_by_name, kernel_count
+from repro.sim import allocate_arrays, execute_region
+
+SMALL = 8  # extent used for every size parameter in correctness runs
+
+
+def _small_env(spec):
+    return {p: SMALL for p in spec.sizes["test"]}
+
+
+def _small_scalars(spec, env):
+    scalars = spec.scalars_for(env)
+    # float_n tracks the dataset size parameter
+    if "float_n" in scalars:
+        scalars["float_n"] = float(env["n"])
+    return scalars
+
+
+@pytest.mark.parametrize("spec", SUITE, ids=lambda s: s.name)
+def test_benchmark_matches_numpy_reference(spec):
+    env = _small_env(spec)
+    scalars = _small_scalars(spec, env)
+    regions = spec.build()
+
+    # one shared array pool, keyed by name, seeded deterministically
+    pool: dict[str, np.ndarray] = {}
+    rng = np.random.default_rng(42)
+    for region in regions:
+        for arr in region.arrays.values():
+            if arr.name not in pool:
+                shape = tuple(int(d.evaluate(env)) for d in arr.shape)
+                pool[arr.name] = rng.uniform(0.1, 1.0, size=shape).astype(
+                    arr.dtype.np
+                )
+    expected = {k: v.copy() for k, v in pool.items()}
+
+    for region in regions:
+        execute_region(region, pool, scalars, env)
+    spec.reference(expected, scalars)
+
+    for name in pool:
+        np.testing.assert_allclose(
+            pool[name],
+            expected[name],
+            rtol=2e-3,
+            atol=1e-5,
+            err_msg=f"{spec.name}: array {name!r} diverges from reference",
+        )
+
+
+@pytest.mark.parametrize("spec", SUITE, ids=lambda s: s.name)
+def test_benchmark_regions_validate(spec):
+    for region in spec.build():
+        validate_region(region)
+
+
+class TestSuiteShape:
+    def test_kernel_count_is_24(self):
+        assert kernel_count() == 24
+
+    def test_thirteen_benchmarks(self):
+        assert len(SUITE) == 13
+
+    def test_region_names_unique(self):
+        names = [r.name for spec in SUITE for r in spec.build()]
+        assert len(names) == len(set(names))
+
+    def test_lookup_by_name(self):
+        assert benchmark_by_name("GEMM").name == "gemm"
+        with pytest.raises(KeyError):
+            benchmark_by_name("nope")
+
+    def test_modes(self):
+        cases_t = all_kernel_cases("test")
+        cases_b = all_kernel_cases("benchmark")
+        assert len(cases_t) == len(cases_b) == 24
+        with pytest.raises(KeyError):
+            all_kernel_cases("huge")
+
+    def test_dataset_sizes(self):
+        gemm = benchmark_by_name("gemm")
+        assert gemm.env("test")["ni"] == 1100
+        assert gemm.env("benchmark")["ni"] == 9600
+        conv3 = benchmark_by_name("3dconv")
+        assert conv3.env("test")["ni"] == 256
+        assert conv3.env("benchmark")["ni"] == 640
+
+    def test_corr_has_four_kernels(self):
+        assert len(benchmark_by_name("corr").build()) == 4
+
+    def test_covar_has_three_kernels(self):
+        assert len(benchmark_by_name("covar").build()) == 3
+
+    def test_kernel_case_metadata(self):
+        case = benchmark_by_name("atax").kernels("test")[1]
+        assert case.name == "atax_k2"
+        assert case.mode == "test"
+        assert case.env["nx"] == 1100
+
+
+def test_allocate_arrays_shapes():
+    spec = benchmark_by_name("gemm")
+    (region,) = spec.build()
+    env = {"ni": 4, "nj": 5, "nk": 6}
+    arrays = allocate_arrays(region, env)
+    assert arrays["A"].shape == (4, 6)
+    assert arrays["B"].shape == (6, 5)
+    assert arrays["C"].shape == (4, 5)
+    assert arrays["C"].dtype == np.float32

@@ -1,0 +1,98 @@
+"""Property tests: the MCA scoreboard respects its own machine rules.
+
+For randomly generated op sequences the produced schedule must satisfy,
+cycle by cycle: dependency ordering (no op issues before its sources are
+ready), port capacity (never more concurrent ops than units of a port),
+and dispatch-width ordering.  This cross-validates the analytic scheduler
+against the rules it claims to implement.
+"""
+
+import math
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.machines import POWER8, POWER9
+from repro.mca import MachineOp, UNPIPELINED, schedule_ops
+
+_OPCODES = ["iadd", "fadd", "fmul", "fma", "load", "store", "fdiv", "cmp"]
+
+
+@st.composite
+def op_sequences(draw):
+    n = draw(st.integers(1, 24))
+    ops = []
+    for i in range(n):
+        opcode = draw(st.sampled_from(_OPCODES))
+        # sources reference earlier destinations (SSA-like) or externals
+        nsrc = draw(st.integers(0, 2))
+        srcs = tuple(
+            draw(st.integers(0, max(0, i - 1))) if i > 0 else 1000 + i
+            for _ in range(nsrc)
+        )
+        dest = -1 if opcode == "store" else i
+        ops.append(MachineOp(opcode, dest, srcs))
+    return ops
+
+
+@given(ops=op_sequences(), cpu=st.sampled_from([POWER8, POWER9]))
+@settings(max_examples=60, deadline=None)
+def test_dependencies_respected(ops, cpu):
+    res = schedule_ops(ops, cpu)
+    ready = {}
+    for op, issue in zip(ops, res.issue_cycle):
+        for s in op.srcs:
+            if s in ready:
+                assert issue >= ready[s] - 1e-9, "issued before source ready"
+        if op.dest >= 0:
+            ready[op.dest] = issue + cpu.latency(op.opcode)
+
+
+@given(ops=op_sequences(), cpu=st.sampled_from([POWER8, POWER9]))
+@settings(max_examples=60, deadline=None)
+def test_port_capacity_respected(ops, cpu):
+    res = schedule_ops(ops, cpu)
+    # reconstruct per-port busy intervals and check concurrent occupancy
+    intervals: dict[str, list[tuple[float, float]]] = {}
+    for op, issue in zip(ops, res.issue_cycle):
+        occ = cpu.latency(op.opcode) if op.opcode in UNPIPELINED else 1.0
+        intervals.setdefault(op.port, []).append((issue, issue + occ))
+    for port, ivs in intervals.items():
+        units = cpu.ports.get(port, 1)
+        events = sorted(
+            [(s, 1) for s, _ in ivs] + [(e, -1) for _, e in ivs],
+            key=lambda t: (t[0], t[1]),
+        )
+        concurrent = 0
+        for _, delta in events:
+            concurrent += delta
+            assert concurrent <= units, f"port {port} oversubscribed"
+
+
+@given(ops=op_sequences(), cpu=st.sampled_from([POWER8, POWER9]))
+@settings(max_examples=60, deadline=None)
+def test_dispatch_width_respected(ops, cpu):
+    res = schedule_ops(ops, cpu)
+    for idx, issue in enumerate(res.issue_cycle):
+        assert issue >= math.floor(idx / cpu.dispatch_width) - 1e-9
+
+
+@given(ops=op_sequences())
+@settings(max_examples=40, deadline=None)
+def test_total_cycles_bounds(ops):
+    res = schedule_ops(ops, POWER9)
+    # no schedule is shorter than the longest single-op latency or the
+    # issue-width lower bound, nor longer than fully serialized execution
+    longest = max(POWER9.latency(o.opcode) for o in ops)
+    serial = sum(POWER9.latency(o.opcode) for o in ops)
+    assert res.total_cycles >= longest
+    assert res.total_cycles >= len(ops) / POWER9.dispatch_width - 1
+    assert res.total_cycles <= serial + len(ops)
+
+
+@given(ops=op_sequences())
+@settings(max_examples=40, deadline=None)
+def test_ipc_consistent(ops):
+    res = schedule_ops(ops, POWER9)
+    assert res.ipc * res.total_cycles == pytest.approx(len(ops))

@@ -1,0 +1,120 @@
+"""Unit + property tests for affine decomposition (the IPDA substrate)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.symbolic import (
+    Const,
+    NonAffineError,
+    Sym,
+    decompose_affine,
+)
+
+
+class TestDecompose:
+    def test_simple_var(self):
+        form = decompose_affine(Sym("i"), {"i"})
+        assert form.coefficient("i") == Const(1)
+        assert form.const == Const(0)
+
+    def test_constant_only(self):
+        form = decompose_affine(Const(7), {"i"})
+        assert form.coeffs == {}
+        assert form.const == Const(7)
+
+    def test_row_major_2d(self):
+        # A[i][j] with row length n: flat = i*n + j
+        i, j, n = Sym("i"), Sym("j"), Sym("n")
+        form = decompose_affine(i * n + j, {"i", "j"})
+        assert form.coefficient("i") == n
+        assert form.coefficient("j") == Const(1)
+
+    def test_symbolic_coefficient_survives(self):
+        # The paper's A[max * a] example: coefficient of `a` is [max].
+        a, mx = Sym("a"), Sym("max")
+        form = decompose_affine(mx * a, {"a"})
+        assert form.coefficient("a") == mx
+        assert form.free_symbols() == {"max"}
+
+    def test_offset_const(self):
+        i = Sym("i")
+        form = decompose_affine(i + 5, {"i"})
+        assert form.const == Const(5)
+
+    def test_param_goes_to_const(self):
+        i, n = Sym("i"), Sym("n")
+        form = decompose_affine(i + n, {"i"})
+        assert form.coefficient("i") == Const(1)
+        assert form.const == n
+
+    def test_zero_coefficient_dropped(self):
+        i = Sym("i")
+        form = decompose_affine(i * 0 + 3, {"i"})
+        assert "i" not in form.coeffs
+
+    def test_nonlinear_raises(self):
+        i, j = Sym("i"), Sym("j")
+        with pytest.raises(NonAffineError):
+            decompose_affine(i * j, {"i", "j"})
+
+    def test_var_under_floordiv_raises(self):
+        i = Sym("i")
+        with pytest.raises(NonAffineError):
+            decompose_affine(i // 2, {"i"})
+
+    def test_floordiv_of_params_ok(self):
+        i, n = Sym("i"), Sym("n")
+        form = decompose_affine(i * (n // 2), {"i"})
+        assert form.coefficient("i") == n // 2
+
+    def test_collapsed_2d_conv_index(self):
+        # (i+1)*n + (j+1): typical stencil interior index
+        i, j, n = Sym("i"), Sym("j"), Sym("n")
+        form = decompose_affine((i + 1) * n + (j + 1), {"i", "j"})
+        assert form.coefficient("i") == n
+        assert form.coefficient("j") == Const(1)
+        assert form.const == n + 1
+
+    def test_to_expr_round_trip_evaluates_equal(self):
+        i, j, n = Sym("i"), Sym("j"), Sym("n")
+        e = i * n + j * 4 + 7
+        form = decompose_affine(e, {"i", "j"})
+        env = {"i": 3, "j": 5, "n": 100}
+        assert form.to_expr().evaluate(env) == e.evaluate(env)
+
+    def test_affine_form_evaluate(self):
+        i, n = Sym("i"), Sym("n")
+        form = decompose_affine(i * n + 2, {"i"})
+        assert form.evaluate({"i": 3, "n": 10}) == 32
+
+
+@given(
+    ci=st.integers(-50, 50),
+    cj=st.integers(-50, 50),
+    const=st.integers(-1000, 1000),
+    i=st.integers(0, 100),
+    j=st.integers(0, 100),
+)
+def test_affine_decomposition_is_faithful(ci, cj, const, i, j):
+    """Decomposing any integer affine form recovers exact coefficients."""
+    I, J = Sym("i"), Sym("j")
+    expr = I * ci + J * cj + const
+    form = decompose_affine(expr, {"i", "j"})
+    env = {"i": i, "j": j}
+    assert form.evaluate(env) == ci * i + cj * j + const
+    # coefficient of the parallel variable is the inter-thread stride
+    got_ci = form.coefficient("i").constant_value()
+    assert got_ci == ci or (ci == 0 and got_ci == 0)
+
+
+@given(
+    n=st.integers(1, 10_000),
+    coeff=st.integers(-8, 8),
+    base=st.integers(0, 100),
+)
+def test_symbolic_coefficient_binds_at_runtime(n, coeff, base):
+    """A symbolic stride like the paper's [max] evaluates correctly later."""
+    a, mx = Sym("a"), Sym("max")
+    form = decompose_affine(mx * coeff * a + base, {"a"})
+    stride = form.coefficient("a")
+    assert stride.evaluate({"max": n}) == coeff * n

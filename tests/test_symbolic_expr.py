@@ -1,0 +1,177 @@
+"""Unit tests for the symbolic expression engine."""
+
+import pytest
+
+from repro.symbolic import (
+    Add,
+    Const,
+    EvalError,
+    FloorDiv,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    Sym,
+    as_expr,
+)
+
+
+class TestConstruction:
+    def test_const_folding_add(self):
+        assert Const(2) + 3 == Const(5)
+
+    def test_const_folding_mul(self):
+        assert Const(4) * Const(5) == Const(20)
+
+    def test_sym_plus_zero_is_sym(self):
+        n = Sym("n")
+        assert n + 0 == n
+
+    def test_sym_times_one_is_sym(self):
+        n = Sym("n")
+        assert n * 1 == n
+
+    def test_sym_times_zero_is_zero(self):
+        assert Sym("n") * 0 == Const(0)
+
+    def test_like_term_collection(self):
+        n = Sym("n")
+        assert n + n == Const(2) * n
+
+    def test_subtraction_cancels(self):
+        n = Sym("n")
+        assert n - n == Const(0)
+
+    def test_paper_ipda_example(self):
+        # IPD_th(A[max*a]) = [max]*1 - [max]*0 = [max]  (Section IV.C)
+        mx = Sym("max")
+        diff = mx * 1 - mx * 0
+        assert diff == mx
+
+    def test_nested_add_flattens(self):
+        a, b, c = Sym("a"), Sym("b"), Sym("c")
+        e = (a + b) + c
+        assert isinstance(e, Add)
+        assert len(e.terms) == 3
+
+    def test_mul_distributes_over_add(self):
+        n, i = Sym("n"), Sym("i")
+        e = n * (i + 1)
+        # must decompose as n*i + n for affine analysis
+        assert e == n * i + n
+
+    def test_negation(self):
+        n = Sym("n")
+        assert -n + n == Const(0)
+
+    def test_as_expr_rejects_junk(self):
+        with pytest.raises(TypeError):
+            as_expr("hello")
+
+    def test_bool_coerces_to_int(self):
+        assert as_expr(True) == Const(1)
+
+
+class TestEvaluate:
+    def test_const(self):
+        assert Const(7).evaluate() == 7
+
+    def test_sym_bound(self):
+        assert Sym("n").evaluate({"n": 1100}) == 1100
+
+    def test_sym_unbound_raises(self):
+        with pytest.raises(EvalError):
+            Sym("n").evaluate({})
+
+    def test_affine(self):
+        n, i = Sym("n"), Sym("i")
+        e = n * i + 3
+        assert e.evaluate({"n": 10, "i": 4}) == 43
+
+    def test_floordiv(self):
+        n = Sym("n")
+        assert (n // 4).evaluate({"n": 10}) == 2
+
+    def test_floordiv_by_zero(self):
+        n, d = Sym("n"), Sym("d")
+        with pytest.raises(EvalError):
+            (n // d).evaluate({"n": 4, "d": 0})
+
+    def test_mod(self):
+        n = Sym("n")
+        assert (n % 4).evaluate({"n": 10}) == 2
+
+    def test_min_max(self):
+        a, b = Sym("a"), Sym("b")
+        assert Min.make(a, b).evaluate({"a": 3, "b": 9}) == 3
+        assert Max.make(a, b).evaluate({"a": 3, "b": 9}) == 9
+
+
+class TestSubs:
+    def test_full_substitution_collapses(self):
+        n = Sym("n")
+        assert (n * 4 + 2).subs({"n": 10}) == Const(42)
+
+    def test_partial_substitution(self):
+        n, m = Sym("n"), Sym("m")
+        e = (n * m).subs({"n": 3})
+        assert e == Const(3) * m
+
+    def test_substitute_expression(self):
+        n, k = Sym("n"), Sym("k")
+        assert Sym("n").subs({"n": k + 1}) == k + 1
+
+    def test_min_substitution(self):
+        e = Min.make(Sym("a"), Const(5)).subs({"a": 3})
+        assert e == Const(3)
+
+
+class TestStructural:
+    def test_hashable_as_dict_key(self):
+        table = {Sym("n") * 4: "stride"}
+        assert table[Sym("n") * 4] == "stride"
+
+    def test_equality_is_structural(self):
+        assert Sym("x") + 1 == Sym("x") + 1
+        assert Sym("x") + 1 != Sym("y") + 1
+
+    def test_free_symbols(self):
+        n, m = Sym("n"), Sym("m")
+        assert (n * m + 3).free_symbols() == {"n", "m"}
+
+    def test_constant_value(self):
+        assert (Const(2) * 3).constant_value() == 6
+        assert (Sym("n") * 3).constant_value() is None
+
+    def test_immutability(self):
+        with pytest.raises(AttributeError):
+            Const(1).value = 2
+        with pytest.raises(AttributeError):
+            Sym("n").name = "m"
+
+    def test_repr_sym_uses_brackets(self):
+        assert repr(Sym("max")) == "[max]"
+
+    def test_floordiv_identity(self):
+        n = Sym("n")
+        assert FloorDiv.make(n, Const(1)) == n
+
+    def test_mod_one_is_zero(self):
+        assert Mod.make(Sym("n"), Const(1)) == Const(0)
+
+    def test_zero_div_raises_at_construction(self):
+        with pytest.raises(ZeroDivisionError):
+            FloorDiv.make(Sym("n"), Const(0))
+        with pytest.raises(ZeroDivisionError):
+            Mod.make(Sym("n"), Const(0))
+
+    def test_min_idempotent(self):
+        n = Sym("n")
+        assert Min.make(n, n) == n
+        assert Max.make(n, n) == n
+
+    def test_mul_nary_children(self):
+        a, b, c = Sym("a"), Sym("b"), Sym("c")
+        e = a * b * c
+        assert isinstance(e, Mul)
+        assert set(e.children()) == {a, b, c}

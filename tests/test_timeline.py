@@ -1,0 +1,60 @@
+"""Tests for the llvm-mca-style timeline view."""
+
+from repro.machines import POWER9
+from repro.mca import MachineOp, render_timeline
+
+
+def op(opcode, dest=-1, srcs=()):
+    return MachineOp(opcode, dest, tuple(srcs))
+
+
+class TestTimeline:
+    def test_empty(self):
+        assert "empty" in render_timeline([], POWER9)
+
+    def test_single_op(self):
+        text = render_timeline([op("fadd", 0)], POWER9)
+        assert "Timeline view" in text
+        assert "[  0]" in text
+        assert "E" in text
+
+    def test_dependency_shows_wait_states(self):
+        ops = [op("load", 0), op("fma", 1, (0,))]
+        text = render_timeline(ops, POWER9)
+        # the dependent fma must wait ('=') for the load
+        fma_row = [l for l in text.splitlines() if "fma" in l][0]
+        assert "=" in fma_row
+        assert "E" in fma_row
+
+    def test_execution_span_matches_latency(self):
+        text = render_timeline([op("fdiv", 0)], POWER9)
+        row = [l for l in text.splitlines() if "fdiv" in l][0]
+        # D + e... + E cells together span the full latency
+        span = row.count("D") + row.count("e") + row.count("E")
+        assert span == POWER9.latency("fdiv")
+
+    def test_truncation_annotations(self):
+        many = [op("fadd", i) for i in range(60)]
+        text = render_timeline(many, POWER9, max_ops=10)
+        assert "more ops not shown" in text
+        chain = [op("fdiv", 0)] + [
+            op("fdiv", i, (i - 1,)) for i in range(1, 12)
+        ]
+        text = render_timeline(chain, POWER9, max_cycles=40)
+        assert "continues to cycle" in text
+
+    def test_ipc_reported(self):
+        text = render_timeline([op("iadd", i) for i in range(8)], POWER9)
+        assert "IPC" in text
+
+    def test_latency_override_respected(self):
+        ops = [op("load", 0), op("fadd", 1, (0,))]
+        slow = render_timeline(
+            ops,
+            POWER9,
+            latency_of=lambda o: 40.0 if o.opcode == "load" else 6.0,
+            max_cycles=60,
+        )
+        load_row = [l for l in slow.splitlines() if "load" in l][0]
+        span = load_row.count("D") + load_row.count("e") + load_row.count("E")
+        assert span == 40

@@ -1,0 +1,63 @@
+"""Tests for the analytical grid-geometry tuner (the Lloyd et al. angle)."""
+
+import pytest
+
+from repro.analysis import ProgramAttributeDatabase
+from repro.codegen import CANDIDATE_BLOCK_SIZES, tune_threads_per_block
+from repro.machines import PLATFORM_P9_V100
+from repro.polybench import benchmark_by_name
+
+from .kernels import build_vecadd
+
+GPU = PLATFORM_P9_V100.gpu
+BUS = PLATFORM_P9_V100.bus
+
+
+def _bound(region, env):
+    db = ProgramAttributeDatabase()
+    return db.compile_region(region).bind(env)
+
+
+class TestGeometryTuning:
+    def test_returns_a_candidate(self):
+        bound = _bound(build_vecadd(), {"n": 1 << 20})
+        choice = tune_threads_per_block(bound, GPU, BUS)
+        assert choice.threads_per_block in CANDIDATE_BLOCK_SIZES
+        assert choice.predicted_kernel_seconds > 0
+        assert len(choice.candidates) == len(CANDIDATE_BLOCK_SIZES)
+
+    def test_never_worse_than_default(self):
+        for bench in ("gemm", "atax", "2dconv"):
+            spec = benchmark_by_name(bench)
+            for region in spec.build():
+                bound = _bound(region, spec.env("benchmark"))
+                choice = tune_threads_per_block(bound, GPU, BUS)
+                assert choice.improvement_over_default >= 0.999
+
+    def test_ties_keep_compiler_default(self):
+        # 2dconv: block size is immaterial (huge collapse(2) grid): keep 128
+        spec = benchmark_by_name("2dconv")
+        (region,) = spec.build()
+        bound = _bound(region, spec.env("benchmark"))
+        choice = tune_threads_per_block(bound, GPU, BUS)
+        assert choice.threads_per_block == 128
+
+    def test_small_band_avoids_giant_blocks(self):
+        # atax_k1 at 9600 iterations: 1024-thread blocks waste occupancy
+        spec = benchmark_by_name("atax")
+        region = spec.build()[0]
+        bound = _bound(region, spec.env("benchmark"))
+        choice = tune_threads_per_block(bound, GPU, BUS)
+        by_tpb = dict(choice.candidates)
+        assert by_tpb[1024] > by_tpb[128]
+        assert choice.threads_per_block <= 256
+
+    def test_default_must_be_a_candidate(self):
+        bound = _bound(build_vecadd(), {"n": 4096})
+        with pytest.raises(ValueError):
+            tune_threads_per_block(bound, GPU, BUS, candidates=(64, 256))
+
+    def test_plan_matches_choice(self):
+        bound = _bound(build_vecadd(), {"n": 1 << 22})
+        choice = tune_threads_per_block(bound, GPU, BUS)
+        assert choice.plan.threads_per_block == choice.threads_per_block

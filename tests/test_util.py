@@ -1,0 +1,106 @@
+"""Unit + property tests for statistics and table rendering."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util import (
+    correlation,
+    geomean,
+    mean_absolute_log_error,
+    render_kv,
+    render_table,
+    summarize_ratio,
+)
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_single(self):
+        assert geomean([3.5]) == 3.5
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    @given(st.lists(st.floats(0.01, 100.0), min_size=1, max_size=20))
+    def test_between_min_and_max(self, vals):
+        g = geomean(vals)
+        assert min(vals) - 1e-9 <= g <= max(vals) + 1e-9
+
+    @given(st.lists(st.floats(0.01, 100.0), min_size=1, max_size=10),
+           st.floats(0.1, 10.0))
+    def test_scale_invariance(self, vals, k):
+        assert geomean([v * k for v in vals]) == pytest.approx(
+            geomean(vals) * k, rel=1e-6
+        )
+
+
+class TestErrors:
+    def test_male_zero_on_perfect(self):
+        assert mean_absolute_log_error([1, 10, 100], [1, 10, 100]) == 0.0
+
+    def test_male_one_decade(self):
+        assert mean_absolute_log_error([10.0], [1.0]) == pytest.approx(1.0)
+
+    def test_male_symmetric(self):
+        a = mean_absolute_log_error([10.0], [1.0])
+        b = mean_absolute_log_error([1.0], [10.0])
+        assert a == pytest.approx(b)
+
+    def test_male_input_validation(self):
+        with pytest.raises(ValueError):
+            mean_absolute_log_error([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            mean_absolute_log_error([], [])
+        with pytest.raises(ValueError):
+            mean_absolute_log_error([0.0], [1.0])
+
+    def test_correlation_perfect(self):
+        assert correlation([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+        assert correlation([1, 2, 3], [-1, -2, -3]) == pytest.approx(-1.0)
+
+    def test_correlation_validation(self):
+        with pytest.raises(ValueError):
+            correlation([1.0], [1.0])
+        with pytest.raises(ValueError):
+            correlation([1, 1, 1], [1, 2, 3])
+
+    def test_summarize_ratio(self):
+        out = summarize_ratio([1.0, 4.0])
+        assert out["min"] == 1.0
+        assert out["max"] == 4.0
+        assert out["geomean"] == pytest.approx(2.0)
+
+
+class TestTables:
+    def test_render_table_basic(self):
+        text = render_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert all(len(l) == len(lines[0]) for l in lines)
+        assert "| a " in text and "22" in text
+
+    def test_render_table_title(self):
+        text = render_table(["x"], [["y"]], title="My Title")
+        assert text.startswith("My Title")
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [[3.14159], [1e-6], [12345.6]])
+        assert "3.14" in text
+        assert "1e-06" in text
+
+    def test_render_kv(self):
+        text = render_kv([("alpha", 1), ("beta-long", 2.5)], title="T")
+        assert text.startswith("T")
+        assert "alpha" in text and "2.50" in text
+
+    def test_ragged_rows_padded(self):
+        text = render_table(["a", "b", "c"], [["x"], ["y", 1, 2]])
+        assert "x" in text  # no crash, padded
