@@ -31,6 +31,7 @@ _ARTEFACTS = (
     "ablations",
     "summary",
     "crossgen",
+    "faults",
 )
 
 
@@ -65,6 +66,8 @@ def _render_artefact(name: str) -> str:
         return "\n\n".join(
             ex.run_crossgen(mode).render() for mode in ("test", "benchmark")
         )
+    if name == "faults":
+        return ex.run_faults().render()
     raise KeyError(name)  # pragma: no cover - argparse restricts choices
 
 

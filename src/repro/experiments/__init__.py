@@ -19,6 +19,7 @@ from .figure45 import Figure45Result, RegimePoint, run_figure45
 from .figure67 import Figure67Result, PredictionRow, run_figure6, run_figure7
 from .figure8 import Figure8Result, Figure8Row, run_figure8
 from .ablations import AblationResult, AblationScore, run_ablations
+from .faults import FaultScore, FaultsResult, run_faults
 from .summary import Claim, SummaryResult, run_summary
 from .crossgen import CrossGenResult, GENERATIONS, run_crossgen
 
@@ -36,6 +37,9 @@ __all__ = [
     "run_table3",
     "Figure3Result",
     "run_figure3",
+    "FaultScore",
+    "FaultsResult",
+    "run_faults",
     "Figure45Result",
     "RegimePoint",
     "run_figure45",

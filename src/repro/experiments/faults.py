@@ -1,0 +1,186 @@
+"""Policy robustness under injected device faults.
+
+Not a paper artefact — a robustness experiment for the fault-tolerant
+runtime (docs/ROBUSTNESS.md).  Every policy replays the same launch
+sequence through the resilient :class:`OffloadingRuntime` under each
+scenario of the fault grid, and is scored against the **degraded
+oracle**: the oracle selector run through the *same* faulty environment
+(same scenario, same seed), i.e. the best a perfectly informed selector
+achieves once faults, retries and fallbacks are unavoidable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..faults import FAULT_SCENARIOS, scenario_by_name
+from ..machines import PLATFORM_P9_V100, Platform
+from ..polybench import benchmark_by_name
+from ..runtime import LaunchRecord, OffloadingRuntime, Policy, policy_by_name
+from ..util import render_table
+
+__all__ = ["FaultScore", "FaultsResult", "run_faults", "DEFAULT_FAULT_POLICIES"]
+
+DEFAULT_FAULT_POLICIES = ("always-gpu", "always-cpu", "model-guided", "oracle")
+
+#: (benchmark, mode) cycle the launch sequence draws from; the benchmark
+#: datasets exceed the oom-prone scenario's 256 MiB usable memory while the
+#: test datasets fit, so the OOM trigger discriminates between launches.
+_WORKLOAD_CYCLE = (
+    ("gemm", "test"),
+    ("atax", "benchmark"),
+    ("gemm", "benchmark"),
+    ("atax", "test"),
+)
+
+
+@dataclass(frozen=True)
+class FaultScore:
+    """One policy's aggregate behaviour under one fault scenario."""
+
+    scenario: str
+    policy: str
+    launches: int
+    total_seconds: float
+    faults: int  # injected fault events suffered
+    retries: int  # extra accelerator attempts beyond the first
+    fallbacks: int  # launches rerouted off the requested target
+    breaker_state: str  # final breaker state of the accelerator
+    vs_oracle: float  # total / degraded-oracle total (1.0 = oracle)
+
+
+@dataclass(frozen=True)
+class FaultsResult:
+    """The full scenario x policy robustness grid."""
+
+    rows: tuple[FaultScore, ...]
+    launches: int
+
+    def get(self, scenario: str, policy: str) -> FaultScore:
+        for row in self.rows:
+            if row.scenario == scenario and row.policy == policy:
+                return row
+        raise KeyError((scenario, policy))
+
+    def render(self) -> str:
+        body = [
+            [
+                row.scenario,
+                row.policy,
+                f"{row.total_seconds * 1e3:.2f}",
+                f"{row.vs_oracle:.2f}x",
+                row.faults,
+                row.retries,
+                row.fallbacks,
+                row.breaker_state,
+            ]
+            for row in self.rows
+        ]
+        return render_table(
+            [
+                "scenario",
+                "policy",
+                "total (ms)",
+                "vs oracle",
+                "faults",
+                "retries",
+                "fallbacks",
+                "breaker",
+            ],
+            body,
+            title=(
+                "Policy robustness under injected faults "
+                f"({self.launches} launches/run, degraded-oracle baseline)"
+            ),
+        )
+
+
+def _build_workload(launches: int) -> list[tuple[str, dict]]:
+    """(region_name, env) launch sequence cycling sizes and kernels."""
+    specs = {name: benchmark_by_name(name) for name, _ in _WORKLOAD_CYCLE}
+    regions: dict[str, list] = {
+        name: spec.build() for name, spec in specs.items()
+    }
+    sequence: list[tuple[str, dict]] = []
+    i = 0
+    while len(sequence) < launches:
+        name, mode = _WORKLOAD_CYCLE[i % len(_WORKLOAD_CYCLE)]
+        env = specs[name].env(mode)
+        for region in regions[name]:
+            if len(sequence) >= launches:
+                break
+            sequence.append((region.name, env))
+        i += 1
+    return sequence
+
+
+def _run_one(
+    platform: Platform,
+    policy: Policy,
+    scenario: str,
+    seed: int,
+    workload: list[tuple[str, dict]],
+    regions,
+) -> tuple[float, list[LaunchRecord], OffloadingRuntime]:
+    runtime = OffloadingRuntime(
+        platform,
+        policy=policy,
+        injector=scenario_by_name(scenario, seed=seed),
+    )
+    for region in regions:
+        runtime.compile_region(region)
+    records = [runtime.launch(name, env) for name, env in workload]
+    return sum(r.executed_seconds for r in records), records, runtime
+
+
+def run_faults(
+    *,
+    platform: Platform = PLATFORM_P9_V100,
+    scenarios: tuple[str, ...] = FAULT_SCENARIOS,
+    policies: tuple[str, ...] = DEFAULT_FAULT_POLICIES,
+    launches: int = 12,
+    seed: int = 4,
+) -> FaultsResult:
+    """Score every policy under every fault scenario."""
+    workload = _build_workload(launches)
+    all_regions = [
+        region
+        for name in dict(_WORKLOAD_CYCLE)
+        for region in benchmark_by_name(name).build()
+    ]
+    # one policy instance per name, shared across scenarios so the
+    # model-guided calibration is fitted once
+    instances = {name: policy_by_name(name) for name in policies}
+    oracle = instances.get("oracle") or policy_by_name("oracle")
+
+    rows: list[FaultScore] = []
+    for scenario in scenarios:
+        oracle_run = _run_one(
+            platform, oracle, scenario, seed, workload, all_regions
+        )
+        oracle_total = oracle_run[0]
+        for name in policies:
+            if name == "oracle":
+                total, records, runtime = oracle_run
+            else:
+                total, records, runtime = _run_one(
+                    platform, instances[name], scenario, seed, workload, all_regions
+                )
+            rows.append(
+                FaultScore(
+                    scenario=scenario,
+                    policy=name,
+                    launches=len(records),
+                    total_seconds=total,
+                    faults=sum(len(r.fault_events) for r in records),
+                    retries=sum(max(r.attempts - 1, 0) for r in records),
+                    fallbacks=sum(r.fell_back for r in records),
+                    breaker_state=runtime.health.breaker.state.value,
+                    vs_oracle=total / oracle_total if oracle_total > 0 else float("nan"),
+                )
+            )
+    return FaultsResult(rows=tuple(rows), launches=launches)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_faults().render())

@@ -1,0 +1,69 @@
+"""Typed device-fault taxonomy raised by the (simulated) offload path.
+
+The host fallback is assumed always safe — only accelerator dispatches can
+raise a :class:`DeviceError`.  Each subclass carries a ``retryable`` class
+flag: transient faults (a flaky DMA, a hung kernel, an ECC hiccup) are
+worth retrying with backoff, while a device-memory exhaustion is
+deterministic for a given region footprint and re-attempting it would only
+waste the retry budget.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "DeviceError",
+    "DeviceMemoryError",
+    "TransferError",
+    "KernelTimeout",
+    "TransientDeviceError",
+]
+
+
+class DeviceError(RuntimeError):
+    """Base class of all accelerator-side launch failures."""
+
+    #: Whether a bounded-backoff retry on the same device is sensible.
+    retryable: bool = True
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        device_name: str = "?",
+        launch_index: int = -1,
+        attempt: int = 1,
+    ):
+        super().__init__(message)
+        self.device_name = device_name
+        self.launch_index = launch_index
+        self.attempt = attempt
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}({str(self)!r}, device={self.device_name!r}, "
+            f"launch={self.launch_index}, attempt={self.attempt})"
+        )
+
+
+class DeviceMemoryError(DeviceError):
+    """Device memory exhausted (the region footprint does not fit)."""
+
+    retryable = False
+
+
+class TransferError(DeviceError):
+    """A host<->device DMA failed mid-flight."""
+
+    retryable = True
+
+
+class KernelTimeout(DeviceError):
+    """The kernel hung past the watchdog limit and was killed."""
+
+    retryable = True
+
+
+class TransientDeviceError(DeviceError):
+    """A generic recoverable device hiccup (ECC retry, driver reset...)."""
+
+    retryable = True

@@ -1,0 +1,126 @@
+"""Per-device health: failure statistics and a circuit breaker.
+
+The breaker implements the classic three-state machine, with the cooldown
+measured in *launches* (the runtime's natural time base) rather than wall
+seconds::
+
+          N consecutive failures
+    CLOSED ----------------------> OPEN
+      ^                              | cooldown launches elapse
+      | probe succeeds               v
+      +--------------------------- HALF_OPEN
+                                     | probe fails
+                                     +---------> OPEN (cooldown restarts)
+
+:class:`DeviceHealth` wraps the breaker with an exponentially weighted
+failure rate whose ``penalty()`` multiplier the runtimes apply to the
+analytical GPU prediction — a device that keeps faulting looks slower and
+slower to the selector until the models route around it even before the
+breaker trips.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .errors import DeviceError
+
+__all__ = ["BreakerState", "CircuitBreaker", "DeviceHealth"]
+
+
+class BreakerState(str, enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+@dataclass
+class CircuitBreaker:
+    """Open after N consecutive failures; half-open probe after a cooldown."""
+
+    failure_threshold: int = 3
+    cooldown_launches: int = 5
+    state: BreakerState = BreakerState.CLOSED
+    consecutive_failures: int = 0
+    _cooldown_left: int = 0
+    #: state-transition log, (launch tick not tracked here): new state names
+    transitions: list[str] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.failure_threshold < 1 or self.cooldown_launches < 1:
+            raise ValueError("threshold and cooldown must be >= 1")
+
+    def _move(self, state: BreakerState) -> None:
+        if state is not self.state:
+            self.state = state
+            self.transitions.append(state.value)
+
+    def on_launch(self) -> None:
+        """Advance the cooldown clock; call once per runtime launch."""
+        if self.state is BreakerState.OPEN:
+            self._cooldown_left -= 1
+            if self._cooldown_left <= 0:
+                self._move(BreakerState.HALF_OPEN)
+
+    def allows(self) -> bool:
+        """May the runtime dispatch to this device right now?"""
+        return self.state is not BreakerState.OPEN
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self._move(BreakerState.CLOSED)
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if (
+            self.state is BreakerState.HALF_OPEN
+            or self.consecutive_failures >= self.failure_threshold
+        ):
+            self._cooldown_left = self.cooldown_launches
+            self._move(BreakerState.OPEN)
+
+
+@dataclass
+class DeviceHealth:
+    """Failure bookkeeping for one accelerator, feeding the selector."""
+
+    device_name: str
+    breaker: CircuitBreaker = field(default_factory=CircuitBreaker)
+    ewma_alpha: float = 0.25  # weight of the newest outcome
+    penalty_weight: float = 4.0  # prediction multiplier per unit failure rate
+    successes: int = 0
+    failures: int = 0
+    failure_ewma: float = 0.0
+    fault_counts: dict[str, int] = field(default_factory=dict)
+
+    def record_success(self) -> None:
+        self.successes += 1
+        self.failure_ewma *= 1.0 - self.ewma_alpha
+        self.breaker.record_success()
+
+    def record_failure(self, error: DeviceError) -> None:
+        self.failures += 1
+        self.failure_ewma += self.ewma_alpha * (1.0 - self.failure_ewma)
+        name = type(error).__name__
+        self.fault_counts[name] = self.fault_counts.get(name, 0) + 1
+        self.breaker.record_failure()
+
+    def penalty(self) -> float:
+        """Multiplier applied to the device's predicted seconds (>= 1).
+
+        Exactly 1.0 while the device has never failed, so a fault-free run
+        makes bit-identical decisions to a runtime without health tracking.
+        """
+        return 1.0 + self.penalty_weight * self.failure_ewma
+
+    @property
+    def healthy(self) -> bool:
+        return self.breaker.state is BreakerState.CLOSED and self.failure_ewma < 0.5
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DeviceHealth({self.device_name!r}, {self.breaker.state.value}, "
+            f"{self.successes} ok / {self.failures} failed, "
+            f"penalty={self.penalty():.2f})"
+        )

@@ -1,0 +1,57 @@
+"""Retry budgeting on a simulated clock.
+
+No real sleeps anywhere: backoff delays are *accounted* (added to the
+launch's overhead and to the runtime's :class:`SimulatedClock`) the same
+way every other second in this repository is simulated rather than
+elapsed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SimulatedClock", "RetryPolicy"]
+
+
+class SimulatedClock:
+    """A monotonically advancing virtual time base (seconds)."""
+
+    def __init__(self, start: float = 0.0):
+        self.now = start
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError("time cannot flow backwards")
+        self.now += seconds
+        return self.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimulatedClock(now={self.now:g})"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff.
+
+    ``max_attempts`` counts every dispatch try including the first;
+    after failed attempt *k* the runtime waits ``delay(k)`` simulated
+    seconds before attempt *k+1*.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 1e-3
+    backoff_factor: float = 2.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("need at least one attempt")
+        if self.backoff_base_s < 0 or self.backoff_factor < 1:
+            raise ValueError("backoff must be non-negative and non-shrinking")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff after failed attempt ``attempt`` (1-based)."""
+        return self.backoff_base_s * self.backoff_factor ** (attempt - 1)
+
+    def total_backoff(self, failed_attempts: int) -> float:
+        """Total simulated wait after ``failed_attempts`` consecutive failures."""
+        return sum(self.delay(k) for k in range(1, failed_attempts + 1))

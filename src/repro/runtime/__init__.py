@@ -1,5 +1,17 @@
-"""OpenMP-style offloading runtime with target selection (Figure 2)."""
+"""OpenMP-style offloading runtime with target selection (Figure 2).
 
+Fault-tolerant dispatch (retry, fallback, circuit breaking) lives in
+:mod:`repro.faults`; the commonly-paired pieces are re-exported here so
+``from repro.runtime import OffloadingRuntime, RetryPolicy, scenario_by_name``
+reads naturally.
+"""
+
+from ..faults import (
+    DeviceHealth,
+    FaultInjector,
+    RetryPolicy,
+    scenario_by_name,
+)
 from .device import AcceleratorDevice, Device, ExecutionRecord, HostDevice
 from .policies import (
     AlwaysCPU,
@@ -28,4 +40,8 @@ __all__ = [
     "policy_by_name",
     "LaunchRecord",
     "OffloadingRuntime",
+    "DeviceHealth",
+    "FaultInjector",
+    "RetryPolicy",
+    "scenario_by_name",
 ]

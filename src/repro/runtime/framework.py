@@ -6,14 +6,34 @@ attributes.  ``launch`` is the runtime half: bind runtime values, ask the
 policy for a target, dispatch to that device, and record everything the
 experiments need (both device times are simulated so policies can be scored
 against the oracle without re-running).
+
+Dispatch is resilient (docs/ROBUSTNESS.md): an optional
+:class:`~repro.faults.FaultInjector` makes accelerator attempts fail, and
+the runtime answers with bounded retry + exponential backoff (on a
+simulated clock), automatic host fallback, a per-device circuit breaker
+and a :class:`~repro.faults.DeviceHealth` penalty that steers the
+model-guided selector away from a flaky card.  With no injector the fast
+path is taken and every record is bit-identical to the pre-fault-tolerance
+runtime.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Mapping
 
 from ..analysis import ProgramAttributeDatabase, RegionAttributes
+from ..faults import (
+    DeviceHealth,
+    FaultEvent,
+    FaultInjector,
+    RetryPolicy,
+    SimulatedClock,
+    dispatch_with_retries,
+    region_footprint_bytes,
+)
+from ..faults.resilient import FALLBACK_BREAKER, FALLBACK_HEALTH
 from ..ir import Region
 from ..machines import Platform
 from ..models import SelectionPrediction
@@ -25,24 +45,48 @@ __all__ = ["LaunchRecord", "OffloadingRuntime"]
 
 @dataclass(frozen=True)
 class LaunchRecord:
-    """Everything observed for one target-region launch."""
+    """Everything observed for one target-region launch.
+
+    The trailing fields are fault-tolerance provenance; their defaults
+    describe an untroubled launch, so fault-free runs produce records
+    identical to the pre-resilience runtime.
+    """
 
     region_name: str
-    target: str  # device the policy chose
+    target: str  # device the launch actually executed on
     policy_name: str
     prediction: SelectionPrediction | None
     cpu_seconds: float  # measured (simulated) host time
     gpu_seconds: float  # measured (simulated) device time incl. transfers
-    executed_seconds: float  # time of the chosen target
+    executed_seconds: float  # time of the chosen target (incl. retry backoff)
+    requested_target: str | None = None  # policy's pick before rerouting
+    attempts: int = 0  # accelerator dispatch attempts (0 = never tried)
+    fault_events: tuple[FaultEvent, ...] = ()
+    fallback: str | None = None  # why the launch left the requested target
+    overhead_seconds: float = 0.0  # simulated retry backoff
 
     @property
     def true_speedup(self) -> float:
-        """Actual GPU-offloading speedup (host / device)."""
+        """Actual GPU-offloading speedup (host / device).
+
+        NaN when the device time is zero or non-finite (a failed launch
+        measures no useful device time) so experiment tables degrade to
+        "nan" instead of raising ZeroDivisionError or propagating inf.
+        """
+        if self.gpu_seconds <= 0.0 or not (
+            math.isfinite(self.gpu_seconds) and math.isfinite(self.cpu_seconds)
+        ):
+            return math.nan
         return self.cpu_seconds / self.gpu_seconds
 
     @property
     def predicted_speedup(self) -> float | None:
-        return None if self.prediction is None else self.prediction.predicted_speedup
+        if self.prediction is None:
+            return None
+        cpu, gpu = self.prediction.cpu.seconds, self.prediction.gpu.seconds
+        if gpu <= 0.0 or not (math.isfinite(gpu) and math.isfinite(cpu)):
+            return math.nan
+        return cpu / gpu
 
     @property
     def decision_correct(self) -> bool:
@@ -54,6 +98,15 @@ class LaunchRecord:
     def oracle_seconds(self) -> float:
         return min(self.cpu_seconds, self.gpu_seconds)
 
+    @property
+    def fell_back(self) -> bool:
+        """Did resilience reroute this launch off the requested target?"""
+        return self.fallback is not None
+
+    @property
+    def faulted(self) -> bool:
+        return bool(self.fault_events)
+
 
 @dataclass
 class OffloadingRuntime:
@@ -63,10 +116,16 @@ class OffloadingRuntime:
     policy: Policy = field(default_factory=ModelGuided)
     num_threads: int | None = None  # host team size (None = all hw threads)
     db: ProgramAttributeDatabase = field(default_factory=ProgramAttributeDatabase)
+    injector: FaultInjector | None = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    apply_health_penalty: bool = True
 
     def __post_init__(self):
         self._host = HostDevice(self.platform.host, num_threads=self.num_threads)
         self._accel = AcceleratorDevice(self.platform.gpu, self.platform.bus)
+        self.clock = SimulatedClock()
+        self.health = DeviceHealth(self._accel.name)
+        self._accel_launches = 0  # per-device dispatch ordinal for the injector
 
     # -- compile time -------------------------------------------------------
     def compile_region(self, region: Region) -> RegionAttributes:
@@ -82,14 +141,42 @@ class OffloadingRuntime:
         cpu_rec: ExecutionRecord = self._host.execute(attrs.region, env)
         gpu_rec: ExecutionRecord = self._accel.execute(attrs.region, env)
 
-        target, prediction = self.policy.choose(
+        requested, prediction = self.policy.choose(
             bound,
             self.platform,
             num_threads=self.num_threads,
             sim_cpu_seconds=cpu_rec.seconds,
             sim_gpu_seconds=gpu_rec.seconds,
         )
-        executed = cpu_rec.seconds if target == "cpu" else gpu_rec.seconds
+        target = requested
+        fallback: str | None = None
+        attempts = 0
+        events: tuple[FaultEvent, ...] = ()
+        overhead = 0.0
+
+        self.health.breaker.on_launch()
+        if target == "gpu":
+            target, fallback = self._pre_dispatch_reroute(prediction)
+        if target == "gpu":
+            result = dispatch_with_retries(
+                injector=self.injector,
+                retry=self.retry,
+                clock=self.clock,
+                health=self.health,
+                device_name=self._accel.name,
+                launch_index=self._accel_launches,
+                footprint_bytes=region_footprint_bytes(attrs.region, env),
+                memory_bytes=int(self._accel.gpu.mem_size_gib * 2**30),
+            )
+            self._accel_launches += 1
+            attempts = result.attempts
+            events = result.fault_events
+            overhead = result.overhead_seconds
+            if not result.ok:
+                target, fallback = "cpu", result.reason
+
+        executed = (cpu_rec.seconds if target == "cpu" else gpu_rec.seconds)
+        executed += overhead
         return LaunchRecord(
             region_name=region_name,
             target=target,
@@ -98,4 +185,24 @@ class OffloadingRuntime:
             cpu_seconds=cpu_rec.seconds,
             gpu_seconds=gpu_rec.seconds,
             executed_seconds=executed,
+            requested_target=requested,
+            attempts=attempts,
+            fault_events=events,
+            fallback=fallback,
+            overhead_seconds=overhead,
         )
+
+    def _pre_dispatch_reroute(
+        self, prediction: SelectionPrediction | None
+    ) -> tuple[str, str | None]:
+        """Health feedback: skip an open-breaker device, penalize a flaky one."""
+        if not self.health.breaker.allows():
+            return "cpu", FALLBACK_BREAKER
+        if self.apply_health_penalty and prediction is not None:
+            penalty = self.health.penalty()
+            if (
+                penalty > 1.0
+                and prediction.gpu.seconds * penalty >= prediction.cpu.seconds
+            ):
+                return "cpu", FALLBACK_HEALTH
+        return "gpu", None

@@ -6,6 +6,14 @@ available accelerators."  This module generalizes the binary CPU/GPU
 decision to a host plus any number of attached accelerators (Figure 1's
 topology): the models are evaluated once per candidate device and the
 lowest prediction wins.
+
+Selection and dispatch are health-aware (docs/ROBUSTNESS.md): each
+accelerator's prediction is scaled by its :class:`DeviceHealth` penalty,
+devices with an open circuit breaker are skipped outright, and a faulted
+dispatch retries with backoff then falls through to the next-best
+candidate (the host last, which never faults).  Without an injector and
+with all devices healthy the choice is bit-identical to the plain
+prediction argmin.
 """
 
 from __future__ import annotations
@@ -15,6 +23,16 @@ from typing import Mapping
 
 from ..analysis import ProgramAttributeDatabase
 from ..calibrate import fit_model_calibration
+from ..faults import (
+    DeviceHealth,
+    FaultEvent,
+    FaultInjector,
+    RetryPolicy,
+    SimulatedClock,
+    dispatch_with_retries,
+    region_footprint_bytes,
+)
+from ..faults.resilient import FALLBACK_BREAKER
 from ..ir import Region
 from ..machines import AcceleratorSlot, Platform
 from ..models import SelectionPrediction, predict_both
@@ -35,18 +53,34 @@ class DeviceOutcome:
 
 @dataclass(frozen=True)
 class MultiLaunchRecord:
-    """Everything observed for one launch across all candidate devices."""
+    """Everything observed for one launch across all candidate devices.
+
+    The trailing fields are fault-tolerance provenance with untroubled
+    defaults, as on :class:`~repro.runtime.LaunchRecord`.
+    """
 
     region_name: str
     outcomes: tuple[DeviceOutcome, ...]
-    chosen: str  # device name the models selected
+    chosen: str  # device name the (health-aware) models selected
+    executed_device: str | None = None  # device that ran it (None = chosen)
+    attempts: int = 0  # accelerator dispatch attempts across all devices
+    fault_events: tuple[FaultEvent, ...] = ()
+    fallback: str | None = None  # why the launch left the chosen device
+    overhead_seconds: float = 0.0  # simulated retry backoff
+
+    def outcome_of(self, device_name: str) -> DeviceOutcome:
+        for o in self.outcomes:
+            if o.device_name == device_name:
+                return o
+        raise KeyError(device_name)
 
     @property
     def chosen_outcome(self) -> DeviceOutcome:
-        for o in self.outcomes:
-            if o.device_name == self.chosen:
-                return o
-        raise KeyError(self.chosen)  # pragma: no cover - construction invariant
+        return self.outcome_of(self.chosen)
+
+    @property
+    def executed_outcome(self) -> DeviceOutcome:
+        return self.outcome_of(self.executed_device or self.chosen)
 
     @property
     def oracle_name(self) -> str:
@@ -58,7 +92,11 @@ class MultiLaunchRecord:
 
     @property
     def executed_seconds(self) -> float:
-        return self.chosen_outcome.measured_seconds
+        return self.executed_outcome.measured_seconds + self.overhead_seconds
+
+    @property
+    def fell_back(self) -> bool:
+        return self.fallback is not None
 
 
 @dataclass
@@ -68,6 +106,9 @@ class MultiDeviceRuntime:
     platform: Platform
     num_threads: int | None = None
     db: ProgramAttributeDatabase = field(default_factory=ProgramAttributeDatabase)
+    injector: FaultInjector | None = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    apply_health_penalty: bool = True
 
     def __post_init__(self):
         if not self.platform.accelerators:
@@ -78,6 +119,9 @@ class MultiDeviceRuntime:
             for slot in self.platform.accelerators
         ]
         self._calibrations: dict[str, object] = {}
+        self.clock = SimulatedClock()
+        self.health = {dev.name: DeviceHealth(dev.name) for dev in self._accels}
+        self._accel_launches = {dev.name: 0 for dev in self._accels}
 
     def compile_region(self, region: Region):
         return self.db.compile_region(region)
@@ -102,8 +146,50 @@ class MultiDeviceRuntime:
             calibration=self._calibrations[view.name],
         )
 
+    def _effective_predicted(self, outcome: DeviceOutcome) -> float:
+        """Predicted seconds scaled by the device's health penalty."""
+        if outcome.kind == "cpu" or not self.apply_health_penalty:
+            return outcome.predicted_seconds
+        return outcome.predicted_seconds * self.health[outcome.device_name].penalty()
+
+    def _dispatch(
+        self, region: Region, env: Mapping[str, int], candidates: list[DeviceOutcome]
+    ) -> tuple[str, int, tuple[FaultEvent, ...], float, str | None]:
+        """Try candidates in order; the host (never faults) ends the chain."""
+        attempts = 0
+        events: list[FaultEvent] = []
+        overhead = 0.0
+        reason: str | None = None
+        for cand in candidates:
+            if cand.kind == "cpu":
+                return cand.device_name, attempts, tuple(events), overhead, reason
+            health = self.health[cand.device_name]
+            if not health.breaker.allows():
+                reason = FALLBACK_BREAKER
+                continue
+            index = self._accel_launches[cand.device_name]
+            self._accel_launches[cand.device_name] += 1
+            gpu = next(d for d in self._accels if d.name == cand.device_name)
+            result = dispatch_with_retries(
+                injector=self.injector,
+                retry=self.retry,
+                clock=self.clock,
+                health=health,
+                device_name=cand.device_name,
+                launch_index=index,
+                footprint_bytes=region_footprint_bytes(region, env),
+                memory_bytes=int(gpu.gpu.mem_size_gib * 2**30),
+            )
+            attempts += result.attempts
+            events.extend(result.fault_events)
+            overhead += result.overhead_seconds
+            if result.ok:
+                return cand.device_name, attempts, tuple(events), overhead, reason
+            reason = result.reason
+        raise AssertionError("host candidate must terminate the chain")
+
     def launch(self, region_name: str, env: Mapping[str, int]) -> MultiLaunchRecord:
-        """Predict every candidate device, dispatch to the best."""
+        """Predict every candidate device, dispatch to the best that works."""
         attrs = self.db.lookup(region_name)
         bound = attrs.bind(env)
 
@@ -131,9 +217,45 @@ class MultiDeviceRuntime:
                     measured_seconds=measured.seconds,
                 )
             )
-        chosen = min(outcomes, key=lambda o: o.predicted_seconds).device_name
+
+        for health in self.health.values():
+            health.breaker.on_launch()
+
+        # Health-aware selection: penalized predictions, open breakers
+        # skipped (the host is always a candidate so the pool is never
+        # empty).  Fault-free this is the plain prediction argmin.
+        selectable = [
+            o
+            for o in outcomes
+            if o.kind == "cpu" or self.health[o.device_name].breaker.allows()
+        ]
+        chosen = min(selectable, key=self._effective_predicted).device_name
+
+        # Dispatch order: chosen first, then the remaining candidates by
+        # effective prediction; the host terminates the chain.
+        ranked = sorted(outcomes, key=self._effective_predicted)
+        order = [self.outcome_by_name(outcomes, chosen)]
+        order += [o for o in ranked if o.device_name != chosen and o.kind == "gpu"]
+        order += [o for o in ranked if o.kind == "cpu"]
+        executed, attempts, events, overhead, reason = self._dispatch(
+            attrs.region, env, order
+        )
         return MultiLaunchRecord(
             region_name=region_name,
             outcomes=tuple(outcomes),
             chosen=chosen,
+            executed_device=executed,
+            attempts=attempts,
+            fault_events=events,
+            fallback=reason if executed != chosen else None,
+            overhead_seconds=overhead,
         )
+
+    @staticmethod
+    def outcome_by_name(
+        outcomes: list[DeviceOutcome], name: str
+    ) -> DeviceOutcome:
+        for o in outcomes:
+            if o.device_name == name:
+                return o
+        raise KeyError(name)  # pragma: no cover - construction invariant

@@ -128,5 +128,8 @@ def policy_by_name(name: str) -> Policy:
     }
     key = name.strip().lower()
     if key not in table:
-        raise KeyError(f"unknown policy {name!r}; known: {sorted(table)}")
+        raise ValueError(
+            f"unknown policy {name!r}; valid policies: "
+            + ", ".join(sorted(table))
+        )
     return table[key]()

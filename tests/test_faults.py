@@ -1,0 +1,331 @@
+"""Tests for the fault-tolerance subsystem (repro.faults).
+
+Covers injector determinism under a fixed seed, retry-then-fallback
+sequencing, circuit-breaker open/half-open/close transitions, the health
+penalty feedback into selection, and that fault-free runs are
+bit-identical to the plain runtime.
+"""
+
+from types import SimpleNamespace
+
+import math
+import pytest
+
+from repro.faults import (
+    BreakerState,
+    CircuitBreaker,
+    DeadDevice,
+    DeviceMemoryError,
+    FaultInjector,
+    FootprintOOM,
+    LaunchContext,
+    ProbabilisticFault,
+    RetryPolicy,
+    ScheduledFault,
+    TransferError,
+    TransientDeviceError,
+    region_footprint_bytes,
+    scenario_by_name,
+)
+from repro.machines import (
+    NVLINK2,
+    PCIE3_X16,
+    POWER9,
+    AcceleratorSlot,
+    Platform,
+    PLATFORM_P9_V100,
+    TESLA_K80,
+    TESLA_V100,
+)
+from repro.runtime import (
+    AlwaysGPU,
+    LaunchRecord,
+    ModelGuided,
+    MultiDeviceRuntime,
+    OffloadingRuntime,
+)
+
+from .kernels import build_gemm, build_vecadd
+
+ENV = {"ni": 512, "nj": 512, "nk": 512}
+#: benchmark-dataset GEMM — big enough that the model offloads it
+ENV_BIG = {"ni": 9600, "nj": 9600, "nk": 9600}
+
+
+def _ctx(launch: int, attempt: int = 1, footprint: int = 0) -> LaunchContext:
+    return LaunchContext(
+        device_name="Tesla V100 via NVLink2",
+        kind="gpu",
+        launch_index=launch,
+        attempt=attempt,
+        footprint_bytes=footprint,
+        memory_bytes=16 << 30,
+    )
+
+
+class TestInjector:
+    def test_deterministic_under_fixed_seed(self):
+        a = scenario_by_name("flaky-transfer", seed=7)
+        b = scenario_by_name("flaky-transfer", seed=7)
+        seq_a = [type(a.check(_ctx(i))).__name__ for i in range(64)]
+        seq_b = [type(b.check(_ctx(i))).__name__ for i in range(64)]
+        assert seq_a == seq_b
+        assert "TransferError" in seq_a  # the plan does fire at p=0.25
+
+    def test_reset_replays_the_same_faults(self):
+        inj = scenario_by_name("flaky-transfer", seed=3)
+        first = [inj.check(_ctx(i)) is not None for i in range(32)]
+        inj.reset()
+        again = [inj.check(_ctx(i)) is not None for i in range(32)]
+        assert first == again
+
+    def test_footprint_trigger_is_deterministic(self):
+        inj = FaultInjector([FootprintOOM(limit_bytes=100)])
+        assert inj.check(_ctx(0, footprint=99)) is None
+        err = inj.check(_ctx(1, footprint=101))
+        assert isinstance(err, DeviceMemoryError)
+        assert not err.retryable
+
+    def test_scheduled_trigger_targets_launch_and_attempt(self):
+        inj = FaultInjector(
+            [ScheduledFault(TransferError, launches=(2,), attempts=(1,))]
+        )
+        assert inj.check(_ctx(0)) is None
+        assert isinstance(inj.check(_ctx(2, attempt=1)), TransferError)
+        assert inj.check(_ctx(2, attempt=2)) is None
+
+    def test_device_substring_filter(self):
+        inj = FaultInjector([DeadDevice(device="K80")])
+        assert inj.check(_ctx(0)) is None  # V100 context does not match
+
+    def test_probability_validated(self):
+        with pytest.raises(ValueError):
+            ProbabilisticFault(probability=1.5)
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ValueError, match="dead-gpu"):
+            scenario_by_name("nope")
+
+    def test_region_footprint_counts_each_array_once(self):
+        gemm = build_gemm()
+        # A + B + C at 512x512 f32: inout C counted once, not twice
+        assert region_footprint_bytes(gemm, ENV) == 3 * 512 * 512 * 4
+
+
+class TestCircuitBreaker:
+    def test_open_half_open_close_transitions(self):
+        br = CircuitBreaker(failure_threshold=2, cooldown_launches=3)
+        assert br.allows()
+        br.record_failure()
+        assert br.state is BreakerState.CLOSED
+        br.record_failure()
+        assert br.state is BreakerState.OPEN and not br.allows()
+        for _ in range(3):
+            assert br.state is not BreakerState.HALF_OPEN
+            br.on_launch()
+        assert br.state is BreakerState.HALF_OPEN and br.allows()
+        br.record_success()  # probe succeeded
+        assert br.state is BreakerState.CLOSED
+        assert br.transitions == ["open", "half-open", "closed"]
+
+    def test_half_open_probe_failure_reopens(self):
+        br = CircuitBreaker(failure_threshold=1, cooldown_launches=1)
+        br.record_failure()
+        br.on_launch()
+        assert br.state is BreakerState.HALF_OPEN
+        br.record_failure()
+        assert br.state is BreakerState.OPEN
+
+    def test_success_resets_consecutive_count(self):
+        br = CircuitBreaker(failure_threshold=2)
+        br.record_failure()
+        br.record_success()
+        br.record_failure()
+        assert br.state is BreakerState.CLOSED
+
+
+def _runtime(policy, injector, **kw):
+    rt = OffloadingRuntime(
+        PLATFORM_P9_V100, policy=policy, injector=injector, **kw
+    )
+    rt.compile_region(build_gemm())
+    return rt
+
+
+class TestResilientDispatch:
+    def test_retry_then_success_sequencing(self):
+        inj = FaultInjector(
+            [ScheduledFault(TransientDeviceError, launches=(0,), attempts=(1,))]
+        )
+        rt = _runtime(AlwaysGPU(), inj)
+        rec = rt.launch("gemm", ENV)
+        assert rec.target == "gpu" and rec.requested_target == "gpu"
+        assert rec.attempts == 2 and len(rec.fault_events) == 1
+        assert rec.fallback is None
+        assert rec.overhead_seconds == pytest.approx(rt.retry.delay(1))
+        assert rec.executed_seconds == pytest.approx(
+            rec.gpu_seconds + rec.overhead_seconds
+        )
+        assert rt.clock.now == pytest.approx(rt.retry.delay(1))
+
+    def test_retries_exhausted_falls_back_to_host(self):
+        inj = FaultInjector([ScheduledFault(TransferError, launches=(0,))])
+        rt = _runtime(AlwaysGPU(), inj)
+        rt.health.breaker.failure_threshold = 10  # keep the breaker out of it
+        rec = rt.launch("gemm", ENV)
+        assert rec.target == "cpu" and rec.requested_target == "gpu"
+        assert rec.fallback == "retries-exhausted"
+        assert rec.attempts == rt.retry.max_attempts
+        assert len(rec.fault_events) == rt.retry.max_attempts
+        assert rec.executed_seconds == pytest.approx(
+            rec.cpu_seconds + rt.retry.total_backoff(rt.retry.max_attempts - 1)
+        )
+        # a later untouched launch offloads normally again
+        clean = rt.launch("gemm", ENV)
+        assert clean.target == "gpu" and clean.attempts == 1
+
+    def test_oom_is_not_retried(self):
+        inj = FaultInjector([FootprintOOM(limit_bytes=1)])
+        rt = _runtime(AlwaysGPU(), inj)
+        rec = rt.launch("gemm", ENV)
+        assert rec.target == "cpu"
+        assert rec.fallback == "non-retryable-fault"
+        assert rec.attempts == 1 and rec.overhead_seconds == 0.0
+        assert rec.fault_events[0].error_type == "DeviceMemoryError"
+
+    def test_dead_gpu_breaker_stops_routing_within_n_plus_one(self):
+        rt = _runtime(AlwaysGPU(), scenario_by_name("dead-gpu"))
+        threshold = rt.health.breaker.failure_threshold
+        records = [rt.launch("gemm", ENV) for _ in range(10)]
+        # every launch completes on the host, no unhandled exceptions
+        assert all(r.target == "cpu" for r in records)
+        # the breaker trips within N+1 launches, after which the dead
+        # device is skipped without any dispatch attempts
+        tripped = next(i for i, r in enumerate(records) if r.attempts == 0)
+        assert tripped <= threshold
+        assert records[tripped].fallback == "breaker-open"
+        # a half-open probe re-tests the device once after the cooldown...
+        probe_at = next(
+            i for i in range(tripped, len(records)) if records[i].attempts
+        )
+        assert tripped < probe_at <= tripped + rt.health.breaker.cooldown_launches
+        probe = records[probe_at]
+        assert probe.attempts == 1 and probe.target == "cpu"
+        # ...fails, and the breaker re-opens immediately
+        assert rt.health.breaker.state is not BreakerState.CLOSED
+        assert records[probe_at + 1].attempts == 0
+
+    def test_health_penalty_reroutes_model_guided(self):
+        rt = _runtime(ModelGuided(), FaultInjector((), seed=0))
+        baseline = rt.launch("gemm", ENV_BIG)
+        assert baseline.target == "gpu"  # benchmark-size gemm offloads
+        rt.health.penalty_weight = 1e12
+        rt.health.failure_ewma = 0.5  # pretend the card has been flaky
+        rec = rt.launch("gemm", ENV_BIG)
+        assert rec.target == "cpu" and rec.requested_target == "gpu"
+        assert rec.fallback == "health-penalty"
+        assert rec.attempts == 0  # never dispatched to the accelerator
+
+    def test_flaky_runs_are_seed_deterministic(self):
+        def trace(seed):
+            rt = _runtime(AlwaysGPU(), scenario_by_name("flaky-transfer", seed=seed))
+            return [
+                (r.target, r.attempts, r.fallback, len(r.fault_events))
+                for r in (rt.launch("gemm", ENV) for _ in range(12))
+            ]
+
+        assert trace(11) == trace(11)
+
+
+class TestFaultFreeIdentity:
+    def test_records_bit_identical_to_plain_runtime(self):
+        plain = OffloadingRuntime(PLATFORM_P9_V100, policy=ModelGuided())
+        guarded = OffloadingRuntime(
+            PLATFORM_P9_V100,
+            policy=ModelGuided(),
+            injector=scenario_by_name("fault-free"),
+        )
+        for rt in (plain, guarded):
+            rt.compile_region(build_gemm())
+            rt.compile_region(build_vecadd())
+        for name, env in (("gemm", ENV), ("vecadd", {"n": 1 << 20})):
+            a = plain.launch(name, env)
+            b = guarded.launch(name, env)
+            assert a.cpu_seconds == b.cpu_seconds
+            assert a.gpu_seconds == b.gpu_seconds
+            assert a.target == b.target
+            assert a.executed_seconds == b.executed_seconds
+            assert b.fault_events == () and b.fallback is None
+            assert b.overhead_seconds == 0.0
+
+
+class TestRecordGuards:
+    def _rec(self, cpu, gpu, prediction=None):
+        return LaunchRecord(
+            region_name="r",
+            target="cpu",
+            policy_name="always-cpu",
+            prediction=prediction,
+            cpu_seconds=cpu,
+            gpu_seconds=gpu,
+            executed_seconds=cpu,
+        )
+
+    def test_true_speedup_guards_zero_and_nonfinite(self):
+        assert math.isnan(self._rec(1.0, 0.0).true_speedup)
+        assert math.isnan(self._rec(1.0, float("inf")).true_speedup)
+        assert math.isnan(self._rec(float("nan"), 1.0).true_speedup)
+        assert self._rec(2.0, 1.0).true_speedup == pytest.approx(2.0)
+
+    def test_predicted_speedup_guards_zero_and_nonfinite(self):
+        fake = SimpleNamespace(
+            cpu=SimpleNamespace(seconds=1.0), gpu=SimpleNamespace(seconds=0.0)
+        )
+        assert math.isnan(self._rec(1.0, 1.0, fake).predicted_speedup)
+        assert self._rec(1.0, 1.0).predicted_speedup is None
+
+
+DUAL = Platform(
+    "P9 + V100/NVLink + K80/PCIe",
+    POWER9,
+    (
+        AcceleratorSlot(TESLA_V100, NVLINK2),
+        AcceleratorSlot(TESLA_K80, PCIE3_X16),
+    ),
+)
+
+
+class TestMultiDeviceResilience:
+    def _multi(self, injector=None):
+        rt = MultiDeviceRuntime(DUAL, injector=injector)
+        rt.compile_region(build_gemm())
+        return rt
+
+    def test_fault_free_identical_to_plain(self):
+        plain = self._multi()
+        guarded = self._multi(scenario_by_name("fault-free"))
+        a = plain.launch("gemm", ENV)
+        b = guarded.launch("gemm", ENV)
+        assert a.chosen == b.chosen
+        assert a.executed_seconds == b.executed_seconds
+        assert b.executed_device == b.chosen and b.fallback is None
+
+    def test_dead_primary_fails_over_to_next_device(self):
+        rt = self._multi(
+            FaultInjector([DeadDevice(device="V100")], seed=0)
+        )
+        records = [rt.launch("gemm", ENV_BIG) for _ in range(8)]
+        v100 = next(n for n in rt.health if "V100" in n)
+        # every launch completes off the dead card
+        assert all("V100" not in r.executed_device for r in records)
+        # the first failover carries provenance
+        assert records[0].fell_back and records[0].fault_events
+        # once the breaker opens, selection itself avoids the dead device
+        assert rt.health[v100].breaker.state is not BreakerState.CLOSED
+        assert any("V100" not in r.chosen for r in records)
+
+    def test_all_accelerators_dead_lands_on_host(self):
+        rt = self._multi(FaultInjector([DeadDevice()], seed=0))
+        rec = rt.launch("gemm", ENV_BIG)
+        assert rec.executed_device == rt._host.name
+        assert rec.fell_back

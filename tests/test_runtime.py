@@ -41,7 +41,7 @@ class TestPolicies:
         assert isinstance(policy_by_name("ALWAYS-CPU"), AlwaysCPU)
         assert isinstance(policy_by_name("model-guided"), ModelGuided)
         assert isinstance(policy_by_name("oracle"), Oracle)
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError, match="always-cpu.*model-guided.*oracle"):
             policy_by_name("random")
 
     def test_fixed_policies(self):
