@@ -38,6 +38,7 @@ __all__ = [
     "experiments",
     "ipda",
     "ir",
+    "lint",
     "machines",
     "mca",
     "models",

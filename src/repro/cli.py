@@ -6,6 +6,8 @@ Installed as ``repro-paper`` (see pyproject.toml), or run as
     repro-paper table1                 # any of table1..3, figure3..8, ablations
     repro-paper all                    # every artefact in paper order
     repro-paper select gemm --mode benchmark --platform p9-v100
+    repro-paper lint                   # lint every bundled kernel
+    repro-paper lint syrk --format json
     repro-paper probe tlb|gpu|epcc
 """
 
@@ -15,7 +17,7 @@ import argparse
 import sys
 
 from .machines import POWER9, TESLA_V100, platform_by_name
-from .util import render_table
+from .util import add_format_argument, emit_rows
 
 __all__ = ["main", "build_parser"]
 
@@ -104,16 +106,39 @@ def _cmd_select(args) -> int:
             ]
         )
     print(
-        render_table(
+        emit_rows(
             ["kernel", "pred cpu (ms)", "pred gpu (ms)", "chosen", "true", ""],
             rows,
             title=(
                 f"{spec.name} on {platform.name} ({args.mode} datasets, "
                 f"{args.threads or platform.host.hw_threads} threads)"
             ),
+            fmt=args.format,
         )
     )
     return 0
+
+
+def _cmd_lint(args) -> int:
+    from .lint import lint_region, render_reports_text, reports_to_json
+    from .polybench import SUITE, benchmark_by_name
+
+    specs = (
+        [benchmark_by_name(b) for b in args.benchmarks]
+        if args.benchmarks
+        else list(SUITE)
+    )
+    platform = platform_by_name(args.platform)
+    reports = []
+    for spec in specs:
+        env = spec.env(args.mode)
+        for region in spec.build():
+            reports.append(lint_region(region, env=env, platform=platform))
+    if args.format == "json":
+        print(reports_to_json(reports))
+    else:
+        print(render_reports_text(reports))
+    return 1 if any(r.has_errors for r in reports) else 0
 
 
 def _cmd_probe(args) -> int:
@@ -160,7 +185,22 @@ def build_parser() -> argparse.ArgumentParser:
     sel.add_argument("--platform", default="p9-v100")
     sel.add_argument("--mode", default="benchmark", choices=("test", "benchmark"))
     sel.add_argument("--threads", type=int, default=None)
+    add_format_argument(sel)
     sel.set_defaults(func=_cmd_select)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the region lint passes (exit 1 on error-severity findings)",
+    )
+    lint.add_argument(
+        "benchmarks",
+        nargs="*",
+        help="benchmark names to lint (default: the whole suite)",
+    )
+    lint.add_argument("--platform", default="p9-v100")
+    lint.add_argument("--mode", default="test", choices=("test", "benchmark"))
+    add_format_argument(lint)
+    lint.set_defaults(func=_cmd_lint)
 
     probe = sub.add_parser("probe", help="run a calibration microbenchmark")
     probe.add_argument("what", choices=("tlb", "gpu", "epcc"))

@@ -3,18 +3,33 @@
 Catches malformed kernels early — the same role ``llvm::verifyModule`` plays
 — so that analyses downstream can assume well-formedness instead of
 defending against it.
+
+The checks are expressed as diagnostics (:mod:`repro.lint.diagnostics`):
+:func:`structural_diagnostics` returns every structural problem as a
+``STRUCTxxx`` finding with the IR node path attached, and is what the lint
+subsystem's structural pass runs.  :func:`validate_region` keeps the
+historical raise-on-first-error contract on top of the same findings.
 """
 
 from __future__ import annotations
 
+from ..lint.diagnostics import Diagnostic, Severity
 from .nodes import If, Load, LocalAssign, LocalDef, LocalRef, Loop, Stmt, Store, VExpr
 from .region import Region
-from .visit import walk_statements
 
-__all__ = ["validate_region", "ValidationError"]
+__all__ = ["validate_region", "structural_diagnostics", "ValidationError"]
+
+#: Structural diagnostic codes (all error severity).
+STRUCT_NO_BAND = "STRUCT001"  # no outer parallel loop
+STRUCT_INNER_PARALLEL = "STRUCT002"  # parallel loop outside the outermost band
+STRUCT_SHADOWED_IVAR = "STRUCT003"  # induction variable shadowing
+STRUCT_UNDECLARED_ARRAY = "STRUCT004"  # access to an array of another region
+STRUCT_UNBOUND_SYMBOL = "STRUCT005"  # index/extent references unknown names
+STRUCT_UNDEFINED_LOCAL = "STRUCT006"  # read/write of an undefined local
+STRUCT_UNKNOWN_STMT = "STRUCT007"  # unrecognised statement node
 
 
-class ValidationError(Exception):
+class ValidationError(ValueError):
     """A structural problem in a region's IR."""
 
 
@@ -32,84 +47,163 @@ def validate_region(region: Region) -> None:
     * parallel loops form one outermost contiguous band (the compiler's
       collapse restriction).
     """
-    region.parallel_band()  # raises ValueError when absent
-    _check_parallel_band_is_outermost(region)
+    for diag in structural_diagnostics(region):
+        if diag.severity is Severity.ERROR:
+            raise ValidationError(f"{diag.message} (at {diag.where})")
+
+
+def structural_diagnostics(region: Region) -> list[Diagnostic]:
+    """All structural problems of a region as ``STRUCTxxx`` diagnostics."""
+    out: list[Diagnostic] = []
+
+    def emit(code: str, message: str, path: tuple[str, ...], hint: str | None = None):
+        out.append(
+            Diagnostic(
+                code=code,
+                severity=Severity.ERROR,
+                message=message,
+                region=region.name,
+                path=path,
+                hint=hint,
+                source="structural",
+            )
+        )
+
+    try:
+        band = {id(lp) for lp in region.parallel_band()}
+    except ValueError:
+        band = set()
+        emit(
+            STRUCT_NO_BAND,
+            "region has no outermost parallel loop",
+            (),
+            hint="open the nest with Region.parallel_loop(...)",
+        )
+
     declared_params = set(region.params.names())
     for arr in region.arrays.values():
-        for dim in arr.shape:
-            _check_symbols(dim.free_symbols(), declared_params, f"shape of {arr.name}")
+        _check_symbols(
+            emit,
+            _shape_syms(arr),
+            declared_params,
+            f"shape of array {arr.name}",
+            (f"array {arr.name}",),
+        )
 
-    def visit(stmts: list[Stmt], ivars: set[str], locals_: set[str]) -> None:
+    def check_value(
+        value: VExpr, ivars: set[str], locals_: set[str], path: tuple[str, ...]
+    ) -> None:
+        for node in value.walk():
+            if isinstance(node, Load):
+                leaf = path + (f"load {node!r}",)
+                if node.array.name not in region.arrays:
+                    emit(
+                        STRUCT_UNDECLARED_ARRAY,
+                        f"load from undeclared array {node.array.name!r}",
+                        leaf,
+                        hint="declare the array on this region with Region.array(...)",
+                    )
+                for idx in node.idxs:
+                    _check_symbols(
+                        emit,
+                        idx.free_symbols(),
+                        declared_params | ivars,
+                        "load index",
+                        leaf,
+                    )
+            elif isinstance(node, LocalRef):
+                if node.name not in locals_:
+                    emit(
+                        STRUCT_UNDEFINED_LOCAL,
+                        f"read of undefined local %{node.name}",
+                        path + (f"%{node.name}",),
+                    )
+
+    def visit(
+        stmts: list[Stmt], ivars: set[str], locals_: set[str], path: tuple[str, ...]
+    ) -> None:
         for s in stmts:
             if isinstance(s, Loop):
+                kind = "parallel for" if s.parallel else "for"
+                here = path + (f"{kind} {s.var.name}",)
                 _check_symbols(
-                    s.count.free_symbols(), declared_params | ivars, "loop count"
+                    emit, s.count.free_symbols(), declared_params | ivars, "loop count", here
                 )
                 _check_symbols(
-                    s.start.free_symbols(), declared_params | ivars, "loop start"
+                    emit, s.start.free_symbols(), declared_params | ivars, "loop start", here
                 )
-                if s.var.name in ivars:
-                    raise ValidationError(
-                        f"shadowed induction variable {s.var.name!r}"
+                if s.parallel and id(s) not in band:
+                    emit(
+                        STRUCT_INNER_PARALLEL,
+                        f"parallel loop {s.var.name!r} is not part of the outermost band",
+                        here,
+                        hint="collapse it into the outer band or make it sequential",
                     )
-                visit(s.body, ivars | {s.var.name}, locals_)
+                if s.var.name in ivars:
+                    emit(
+                        STRUCT_SHADOWED_IVAR,
+                        f"shadowed induction variable {s.var.name!r}",
+                        here,
+                    )
+                    visit(s.body, ivars, locals_, here)
+                else:
+                    visit(s.body, ivars | {s.var.name}, locals_, here)
             elif isinstance(s, If):
-                _check_value(s.cond, region, ivars, locals_, declared_params)
-                visit(s.then_body, ivars, set(locals_))
-                visit(s.else_body, ivars, set(locals_))
+                here = path + (f"if {s.cond!r}",)
+                check_value(s.cond, ivars, locals_, here)
+                visit(s.then_body, ivars, set(locals_), here + ("then",))
+                visit(s.else_body, ivars, set(locals_), here + ("else",))
             elif isinstance(s, Store):
+                here = path + (f"store {s.array.name}[{']['.join(repr(i) for i in s.idxs)}]",)
                 if s.array.name not in region.arrays:
-                    raise ValidationError(f"store to undeclared array {s.array.name!r}")
+                    emit(
+                        STRUCT_UNDECLARED_ARRAY,
+                        f"store to undeclared array {s.array.name!r}",
+                        here,
+                        hint="declare the array on this region with Region.array(...)",
+                    )
                 for idx in s.idxs:
                     _check_symbols(
-                        idx.free_symbols(), declared_params | ivars, "store index"
+                        emit, idx.free_symbols(), declared_params | ivars, "store index", here
                     )
-                _check_value(s.value, region, ivars, locals_, declared_params)
+                check_value(s.value, ivars, locals_, here)
             elif isinstance(s, LocalDef):
-                _check_value(s.init, region, ivars, locals_, declared_params)
+                here = path + (f"%{s.name}",)
+                check_value(s.init, ivars, locals_, here)
                 locals_.add(s.name)
             elif isinstance(s, LocalAssign):
+                here = path + (f"%{s.name}",)
                 if s.name not in locals_:
-                    raise ValidationError(f"assignment to undefined local %{s.name}")
-                _check_value(s.value, region, ivars, locals_, declared_params)
-            else:  # pragma: no cover - defensive
-                raise ValidationError(f"unknown statement {type(s).__name__}")
+                    emit(
+                        STRUCT_UNDEFINED_LOCAL,
+                        f"assignment to undefined local %{s.name}",
+                        here,
+                    )
+                check_value(s.value, ivars, locals_, here)
+            else:
+                emit(
+                    STRUCT_UNKNOWN_STMT,
+                    f"unknown statement {type(s).__name__}",
+                    path + (type(s).__name__,),
+                )
 
-    visit(region.body, set(), set())
+    visit(region.body, set(), set(), ())
+    return out
 
 
-def _check_parallel_band_is_outermost(region: Region) -> None:
-    band = set(id(lp) for lp in region.parallel_band())
-    for s in walk_statements(region.body):
-        if isinstance(s, Loop) and s.parallel and id(s) not in band:
-            raise ValidationError(
-                f"parallel loop {s.var.name!r} is not part of the outermost band"
-            )
+def _shape_syms(arr) -> frozenset[str]:
+    syms: set[str] = set()
+    for dim in arr.shape:
+        syms |= dim.free_symbols()
+    return frozenset(syms)
 
 
-def _check_symbols(symbols: frozenset[str], allowed: set[str], what: str) -> None:
+def _check_symbols(emit, symbols, allowed: set[str], what: str, path) -> None:
     unknown = symbols - allowed
     if unknown:
-        raise ValidationError(f"{what} references unbound names {sorted(unknown)}")
-
-
-def _check_value(
-    value: VExpr,
-    region: Region,
-    ivars: set[str],
-    locals_: set[str],
-    declared_params: set[str],
-) -> None:
-    for node in value.walk():
-        if isinstance(node, Load):
-            if node.array.name not in region.arrays:
-                raise ValidationError(
-                    f"load from undeclared array {node.array.name!r}"
-                )
-            for idx in node.idxs:
-                _check_symbols(
-                    idx.free_symbols(), declared_params | ivars, "load index"
-                )
-        elif isinstance(node, LocalRef):
-            if node.name not in locals_:
-                raise ValidationError(f"read of undefined local %{node.name}")
+        emit(
+            STRUCT_UNBOUND_SYMBOL,
+            f"{what} references unbound names {sorted(unknown)}",
+            tuple(path),
+            hint="declare parameters with Region.param(...)",
+        )

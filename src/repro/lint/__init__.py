@@ -1,0 +1,83 @@
+"""Region lint & race detection (``repro.lint``).
+
+Static analysis over the region IR that answers two questions before any
+offload: *is this parallel band actually safe to run with an unordered
+100k-thread schedule* (races, undeclared reductions, out-of-bounds
+indices), and *will it run well* (coalescing, false sharing, divergence,
+footprint).  See docs/LINT.md for the pass catalog and gate semantics.
+
+Quick use::
+
+    from repro.lint import lint_region
+
+    report = lint_region(region)
+    if report.has_errors:
+        print(report.render_text())
+
+Import discipline: only :mod:`repro.lint.diagnostics` (standard library
+only) is imported eagerly, because :mod:`repro.ir.validate` pulls it in
+while ``repro.ir`` is still initialising.  Everything else resolves lazily
+via PEP 562 so this package can be imported from either side of the
+ir <-> lint boundary without a cycle.
+"""
+
+from .diagnostics import (
+    Diagnostic,
+    LintReport,
+    Severity,
+    render_reports_text,
+    reports_to_json,
+)
+
+#: Lazily resolved public names -> defining submodule.
+_LAZY = {
+    "Verdict": "dependence",
+    "DimForm": "dependence",
+    "PairVerdict": "dependence",
+    "affine_dims": "dependence",
+    "cross_thread_conflict": "dependence",
+    "LintContext": "passes",
+    "LintPass": "passes",
+    "PassManager": "passes",
+    "StructuralPass": "passes",
+    "default_pass_manager": "passes",
+    "lint_region": "passes",
+    "RaceDetectionPass": "correctness",
+    "UndeclaredReductionPass": "correctness",
+    "BoundsPass": "correctness",
+    "is_reduction_like": "correctness",
+    "UncoalescedAccessPass": "performance",
+    "FalseSharingPass": "performance",
+    "BranchDivergencePass": "performance",
+    "FootprintPass": "performance",
+    "FALLBACK_LINT": "gate",
+    "GATE_MODES": "gate",
+    "GateDecision": "gate",
+    "LintGate": "gate",
+    "LintGateError": "gate",
+}
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "LintReport",
+    "render_reports_text",
+    "reports_to_json",
+    *_LAZY,
+]
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__():
+    return sorted(__all__)

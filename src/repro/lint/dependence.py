@@ -1,0 +1,359 @@
+"""Cross-thread dependence testing over affine index pairs.
+
+The race detector asks, for two static accesses to the same array inside a
+parallel band: *can two distinct work items touch the same element?*  Both
+accesses share the band loops, so a conflict is a solution of
+
+    idx1_d(x, u) = idx2_d(x + delta, v)   for every dimension d
+
+with band offset ``delta != 0`` and sequential iteration vectors ``u``/``v``
+free within their loop bounds (sequential loops are per-thread, so the two
+instances are independent).
+
+The tests are the classic dependence-analysis pair, adapted to symbolic
+coefficients via :mod:`repro.symbolic.signs`:
+
+* a **GCD test** on each dimension's linear diophantine equation — when the
+  gcd of the (numeric) coefficients does not divide the constant term the
+  dimension can never be equal and the pair is independent;
+* a **Banerjee-style bounds test** — when loop extents are known, the
+  constant term must fall inside the interval the delta terms can span.
+
+Everything else resolves by *coefficient elimination*: a dimension whose
+equation pins a single band variable (``delta_b = 0``) removes it, and a
+pair whose band variables are all pinned is independent.  Verdicts are
+three-valued; ``UNDECIDED`` never claims independence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..ir.visit import MemoryAccess
+from ..symbolic import (
+    Const,
+    Expr,
+    NonAffineError,
+    decompose_affine,
+    sign_of,
+)
+
+__all__ = ["DimForm", "PairVerdict", "Verdict", "affine_dims", "cross_thread_conflict"]
+
+
+class Verdict:
+    """Three-valued dependence answer."""
+
+    INDEPENDENT = "independent"
+    CONFLICT = "conflict"
+    UNDECIDED = "undecided"
+
+
+@dataclass(frozen=True)
+class DimForm:
+    """Affine view of one index dimension of one access."""
+
+    band: Mapping[str, Expr]  # band variable -> coefficient
+    seq: Mapping[str, Expr]  # sequential variable -> coefficient
+    const: Expr
+
+
+@dataclass(frozen=True)
+class PairVerdict:
+    verdict: str  # one of the Verdict constants
+    detail: str
+
+
+def affine_dims(
+    access: MemoryAccess, band_vars: Sequence[str]
+) -> tuple[DimForm, ...] | None:
+    """Decompose each index dimension; ``None`` when any dim is non-affine."""
+    in_scope = frozenset(lp.var.name for lp in access.loop_path)
+    band = frozenset(band_vars) & in_scope
+    out: list[DimForm] = []
+    for idx in access.idxs:
+        try:
+            form = decompose_affine(idx, in_scope)
+        except NonAffineError:
+            return None
+        b = {v: c for v, c in form.coeffs.items() if v in band}
+        s = {v: c for v, c in form.coeffs.items() if v not in band}
+        out.append(DimForm(band=b, seq=s, const=form.const))
+    return tuple(out)
+
+
+def _numeric(expr: Expr) -> int | float | None:
+    value = expr.constant_value()
+    if value is None:
+        return None
+    return int(value) if float(value).is_integer() else value
+
+
+def _provably_nonzero(expr: Expr) -> bool:
+    return sign_of(expr).is_nonzero
+
+
+def _aligned(a: tuple[DimForm, ...], b: tuple[DimForm, ...], band_vars) -> bool:
+    """Do both accesses use the same band coefficients in every dimension?"""
+    for da, db in zip(a, b):
+        for v in band_vars:
+            if da.band.get(v, Const(0)) != db.band.get(v, Const(0)):
+                return False
+    return True
+
+
+def _delta_bound(var: str, extents: Mapping[str, Expr]) -> int | None:
+    """Max |delta| for a band variable (extent - 1) when the extent is numeric."""
+    extent = extents.get(var)
+    if extent is None:
+        return None
+    n = _numeric(extent)
+    if n is None:
+        return None
+    return max(int(n) - 1, 0)
+
+
+def _solve_aligned(
+    dims_a: tuple[DimForm, ...],
+    dims_b: tuple[DimForm, ...],
+    band_vars: tuple[str, ...],
+    extents: Mapping[str, Expr],
+) -> PairVerdict:
+    """Aligned case: per-dimension equation  sum c_b * delta_b + K_d = 0.
+
+    Sequential-variable terms make a dimension "loose" (they can absorb any
+    offset), so loose dimensions neither pin deltas nor certify conflicts.
+    """
+    # Per-dim: (coeffs over band vars, K_d const expr, loose?)
+    equations: list[tuple[dict[str, Expr], Expr, bool]] = []
+    for da, db in zip(dims_a, dims_b):
+        loose = bool(da.seq) or bool(db.seq)
+        k = da.const - db.const
+        equations.append((dict(da.band), k, loose))
+
+    # Elimination fixpoint: a tight dimension with K_d == 0 and exactly one
+    # unpinned, provably-nonzero coefficient forces that delta to zero.
+    pinned: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for coeffs, k, loose in equations:
+            if loose or _numeric(k) not in (0,):
+                continue
+            active = [
+                v
+                for v, c in coeffs.items()
+                if v not in pinned and _provably_nonzero(c)
+            ]
+            unknown = [
+                v
+                for v, c in coeffs.items()
+                if v not in pinned and not _provably_nonzero(c) and _numeric(c) != 0
+            ]
+            if len(active) == 1 and not unknown:
+                pinned.add(active[0])
+                changed = True
+
+    free = [v for v in band_vars if v not in pinned]
+    if not free:
+        return PairVerdict(
+            Verdict.INDEPENDENT,
+            "distinct work items are forced to distinct elements "
+            f"(all band deltas pinned to zero: {', '.join(band_vars)})",
+        )
+
+    # Refutation on tight dimensions with fully numeric data: GCD, then
+    # Banerjee interval when the extents are known.
+    numeric_eqs: list[tuple[dict[str, int], int]] = []
+    all_numeric = True
+    for coeffs, k, loose in equations:
+        if loose:
+            all_numeric = False
+            continue
+        kn = _numeric(k)
+        cn = {v: _numeric(c) for v, c in coeffs.items()}
+        if kn is None or any(c is None for c in cn.values()):
+            all_numeric = False
+            continue
+        numeric_eqs.append(({v: int(c) for v, c in cn.items() if c}, int(kn)))
+
+    for coeffs, k in numeric_eqs:
+        nonzero = [abs(c) for c in coeffs.values()]
+        if not nonzero:
+            if k != 0:
+                return PairVerdict(
+                    Verdict.INDEPENDENT,
+                    f"constant index offset {k} can never be zero",
+                )
+            continue
+        g = math.gcd(*nonzero)
+        if k % g != 0:
+            return PairVerdict(
+                Verdict.INDEPENDENT,
+                f"GCD test: gcd({', '.join(map(str, nonzero))}) = {g} "
+                f"does not divide offset {k}",
+            )
+        lo = hi = 0
+        bounded = True
+        for v, c in coeffs.items():
+            bound = _delta_bound(v, extents)
+            if bound is None:
+                bounded = False
+                break
+            lo -= abs(c) * bound
+            hi += abs(c) * bound
+        if bounded and not (lo <= -k <= hi):
+            return PairVerdict(
+                Verdict.INDEPENDENT,
+                f"bounds test: offset {-k} outside reachable span [{lo}, {hi}]",
+            )
+
+    # Certification: exhibit a nonzero integer delta satisfying every tight
+    # dimension.  Only attempted when every dimension is tight and numeric —
+    # loose dimensions would require reasoning about sequential iterations.
+    if all_numeric:
+        solution = _find_nonzero_solution(numeric_eqs, free, extents)
+        if solution is not None:
+            desc = ", ".join(f"delta({v})={d}" for v, d in solution.items() if d)
+            return PairVerdict(
+                Verdict.CONFLICT,
+                f"distinct work items collide: {desc or 'any nonzero delta'}",
+            )
+    return PairVerdict(
+        Verdict.UNDECIDED,
+        "could not pin all band deltas nor exhibit a collision",
+    )
+
+
+def _find_nonzero_solution(
+    equations: list[tuple[dict[str, int], int]],
+    free: list[str],
+    extents: Mapping[str, Expr],
+) -> dict[str, int] | None:
+    """Search for a small nonzero delta satisfying all numeric equations."""
+
+    def admissible(delta: dict[str, int]) -> bool:
+        if not any(delta.values()):
+            return False
+        for v, d in delta.items():
+            bound = _delta_bound(v, extents)
+            if bound is not None and abs(d) > bound:
+                return False
+        for coeffs, k in equations:
+            if sum(coeffs.get(v, 0) * d for v, d in delta.items()) + k != 0:
+                return False
+        return True
+
+    # Combined candidate: every equation over a single variable forces its
+    # delta (the diagonal-stencil system  d_i + 1 = 0,  d_j + 1 = 0); when
+    # the forcings are consistent they are themselves a solution.
+    forced: dict[str, int] = {}
+    consistent = True
+    for coeffs, k in equations:
+        nz = [(v, c) for v, c in coeffs.items() if c]
+        if len(nz) != 1:
+            continue
+        v, c = nz[0]
+        if k % c != 0:
+            consistent = False
+            break
+        d = -k // c
+        if forced.setdefault(v, d) != d:
+            consistent = False
+            break
+    if consistent and forced and admissible(forced):
+        return dict(forced)
+
+    # Single-variable candidates: delta_v = -k / c from any equation that
+    # mentions v, or +-1 when no equation constrains it.
+    for v in free:
+        candidates = {1, -1}
+        for coeffs, k in equations:
+            c = coeffs.get(v, 0)
+            if c and k % c == 0:
+                candidates.add(-k // c)
+        for d in candidates:
+            if admissible({v: d}):
+                return {v: d}
+    # Pair candidates for homogeneous ties such as delta_i = -delta_j.
+    for i, v1 in enumerate(free):
+        for v2 in free[i + 1 :]:
+            for coeffs, _k in equations:
+                c1, c2 = coeffs.get(v1, 0), coeffs.get(v2, 0)
+                if c1 and c2:
+                    g = math.gcd(abs(c1), abs(c2))
+                    delta = {v1: c2 // g, v2: -c1 // g}
+                    if admissible(delta):
+                        return delta
+    return None
+
+
+def _flat_gcd_refutes(
+    dims_a: tuple[DimForm, ...], dims_b: tuple[DimForm, ...]
+) -> str | None:
+    """Unaligned fallback: treat both index vectors as independent.
+
+    Per dimension, ``idx1(x, u) - idx2(y, v) + K = 0`` over fully
+    independent variables; a failing GCD test on any dimension proves the
+    elements can never coincide.
+    """
+    for da, db in zip(dims_a, dims_b):
+        coeffs: list[int] = []
+        numeric = True
+        for form in (da, db):
+            for c in list(form.band.values()) + list(form.seq.values()):
+                n = _numeric(c)
+                if n is None or n != int(n):
+                    numeric = False
+                    break
+                if int(n):
+                    coeffs.append(abs(int(n)))
+            if not numeric:
+                break
+        k = _numeric(da.const - db.const)
+        if not numeric or k is None or k != int(k):
+            continue
+        if not coeffs:
+            if int(k) != 0:
+                return f"constant index offset {int(k)} can never be zero"
+            continue
+        g = math.gcd(*coeffs)
+        if int(k) % g != 0:
+            return (
+                f"GCD test: gcd({', '.join(map(str, coeffs))}) = {g} does not "
+                f"divide offset {int(k)}"
+            )
+    return None
+
+
+def cross_thread_conflict(
+    a: MemoryAccess,
+    b: MemoryAccess,
+    band_vars: Sequence[str],
+    extents: Mapping[str, Expr],
+) -> PairVerdict:
+    """Can accesses ``a`` and ``b`` touch one element from distinct threads?
+
+    ``extents`` maps loop variables to their (possibly symbolic) trip
+    counts; numeric entries sharpen the Banerjee bounds test.
+    """
+    band_vars = tuple(band_vars)
+    dims_a = affine_dims(a, band_vars)
+    dims_b = affine_dims(b, band_vars)
+    if dims_a is None or dims_b is None:
+        return PairVerdict(
+            Verdict.UNDECIDED, "non-affine index expression; cannot analyse"
+        )
+    if len(dims_a) != len(dims_b):  # pragma: no cover - same array, same rank
+        return PairVerdict(Verdict.UNDECIDED, "rank mismatch")
+    if _aligned(dims_a, dims_b, band_vars):
+        return _solve_aligned(dims_a, dims_b, band_vars, extents)
+    refutation = _flat_gcd_refutes(dims_a, dims_b)
+    if refutation is not None:
+        return PairVerdict(Verdict.INDEPENDENT, refutation)
+    return PairVerdict(
+        Verdict.UNDECIDED,
+        "band coefficients differ between the two accesses",
+    )

@@ -15,6 +15,12 @@ and a :class:`~repro.faults.DeviceHealth` penalty that steers the
 model-guided selector away from a flaky card.  With no injector the fast
 path is taken and every record is bit-identical to the pre-fault-tolerance
 runtime.
+
+Dispatch is also *gated* (docs/LINT.md): an optional
+:class:`~repro.lint.LintGate` refuses to offload regions whose parallel
+band carries race-severity lint findings — raising, forcing the host, or
+merely recording, per its mode.  Lint-clean regions leave no trace in the
+record (``lint=None``), so they too stay bit-identical.
 """
 
 from __future__ import annotations
@@ -35,6 +41,7 @@ from ..faults import (
 )
 from ..faults.resilient import FALLBACK_BREAKER, FALLBACK_HEALTH
 from ..ir import Region
+from ..lint.gate import FALLBACK_LINT, GateDecision, LintGate, LintGateError
 from ..machines import Platform
 from ..models import SelectionPrediction
 from .device import AcceleratorDevice, ExecutionRecord, HostDevice
@@ -64,6 +71,7 @@ class LaunchRecord:
     fault_events: tuple[FaultEvent, ...] = ()
     fallback: str | None = None  # why the launch left the requested target
     overhead_seconds: float = 0.0  # simulated retry backoff
+    lint: GateDecision | None = None  # gate verdict (None = clean or no gate)
 
     @property
     def true_speedup(self) -> float:
@@ -119,6 +127,7 @@ class OffloadingRuntime:
     injector: FaultInjector | None = None
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     apply_health_penalty: bool = True
+    lint_gate: LintGate | None = None
 
     def __post_init__(self):
         self._host = HostDevice(self.platform.host, num_threads=self.num_threads)
@@ -154,7 +163,15 @@ class OffloadingRuntime:
         events: tuple[FaultEvent, ...] = ()
         overhead = 0.0
 
+        lint_decision = (
+            self.lint_gate.decide(attrs.region) if self.lint_gate else None
+        )
+
         self.health.breaker.on_launch()
+        if target == "gpu" and lint_decision is not None and lint_decision.blocked:
+            if lint_decision.action == "raise":
+                raise LintGateError(region_name, lint_decision.codes)
+            target, fallback = "cpu", FALLBACK_LINT
         if target == "gpu":
             target, fallback = self._pre_dispatch_reroute(prediction)
         if target == "gpu":
@@ -190,6 +207,7 @@ class OffloadingRuntime:
             fault_events=events,
             fallback=fallback,
             overhead_seconds=overhead,
+            lint=lint_decision,
         )
 
     def _pre_dispatch_reroute(

@@ -14,6 +14,11 @@ dispatch retries with backoff then falls through to the next-best
 candidate (the host last, which never faults).  Without an injector and
 with all devices healthy the choice is bit-identical to the plain
 prediction argmin.
+
+An optional :class:`~repro.lint.LintGate` screens regions before any
+accelerator dispatch, exactly as on the single-device runtime: a region
+with race-severity findings raises, runs on the host, or is merely
+recorded, per the gate mode (docs/LINT.md).
 """
 
 from __future__ import annotations
@@ -34,6 +39,7 @@ from ..faults import (
 )
 from ..faults.resilient import FALLBACK_BREAKER
 from ..ir import Region
+from ..lint.gate import FALLBACK_LINT, GateDecision, LintGate, LintGateError
 from ..machines import AcceleratorSlot, Platform
 from ..models import SelectionPrediction, predict_both
 from .device import AcceleratorDevice, HostDevice
@@ -67,6 +73,7 @@ class MultiLaunchRecord:
     fault_events: tuple[FaultEvent, ...] = ()
     fallback: str | None = None  # why the launch left the chosen device
     overhead_seconds: float = 0.0  # simulated retry backoff
+    lint: GateDecision | None = None  # gate verdict (None = clean or no gate)
 
     def outcome_of(self, device_name: str) -> DeviceOutcome:
         for o in self.outcomes:
@@ -109,6 +116,7 @@ class MultiDeviceRuntime:
     injector: FaultInjector | None = None
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     apply_health_penalty: bool = True
+    lint_gate: LintGate | None = None
 
     def __post_init__(self):
         if not self.platform.accelerators:
@@ -231,6 +239,29 @@ class MultiDeviceRuntime:
         ]
         chosen = min(selectable, key=self._effective_predicted).device_name
 
+        # Pre-dispatch lint gate: a region with blocking findings never
+        # reaches an accelerator (the host runs it instead), and the
+        # verdict lands in the record next to the fault provenance.
+        lint_decision = (
+            self.lint_gate.decide(attrs.region) if self.lint_gate else None
+        )
+        if (
+            lint_decision is not None
+            and lint_decision.blocked
+            and self.outcome_by_name(outcomes, chosen).kind == "gpu"
+        ):
+            if lint_decision.action == "raise":
+                raise LintGateError(region_name, lint_decision.codes)
+            host = next(o for o in outcomes if o.kind == "cpu")
+            return MultiLaunchRecord(
+                region_name=region_name,
+                outcomes=tuple(outcomes),
+                chosen=chosen,
+                executed_device=host.device_name,
+                fallback=FALLBACK_LINT,
+                lint=lint_decision,
+            )
+
         # Dispatch order: chosen first, then the remaining candidates by
         # effective prediction; the host terminates the chain.
         ranked = sorted(outcomes, key=self._effective_predicted)
@@ -249,6 +280,7 @@ class MultiDeviceRuntime:
             fault_events=events,
             fallback=reason if executed != chosen else None,
             overhead_seconds=overhead,
+            lint=lint_decision,
         )
 
     @staticmethod

@@ -23,6 +23,7 @@ from .expr import (
     as_expr,
 )
 from .affine import AffineForm, NonAffineError, decompose_affine
+from .signs import Sign, definitely_negative, definitely_nonnegative, sign_of
 
 __all__ = [
     "Add",
@@ -39,4 +40,8 @@ __all__ = [
     "AffineForm",
     "NonAffineError",
     "decompose_affine",
+    "Sign",
+    "definitely_negative",
+    "definitely_nonnegative",
+    "sign_of",
 ]

@@ -1,5 +1,6 @@
-"""Shared utilities: statistics and report formatting."""
+"""Shared utilities: statistics, report formatting and CLI output."""
 
+from .output import OUTPUT_FORMATS, add_format_argument, emit_json, emit_rows
 from .stats import correlation, geomean, mean_absolute_log_error, summarize_ratio
 from .tables import render_kv, render_table
 
@@ -10,4 +11,8 @@ __all__ = [
     "summarize_ratio",
     "render_kv",
     "render_table",
+    "OUTPUT_FORMATS",
+    "add_format_argument",
+    "emit_json",
+    "emit_rows",
 ]

@@ -1,0 +1,56 @@
+"""Shared CLI output formatting: one ``--format`` flag, two renderers.
+
+Every ``repro-paper`` subcommand that produces tabular or structured output
+(``select``, ``lint``) registers the flag through :func:`add_format_argument`
+and renders through :func:`emit_rows` / :func:`emit_json`, so ``text`` and
+``json`` behave identically across subcommands.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Sequence
+
+from .tables import render_table
+
+__all__ = ["OUTPUT_FORMATS", "add_format_argument", "emit_rows", "emit_json"]
+
+OUTPUT_FORMATS = ("text", "json")
+
+
+def add_format_argument(parser: argparse.ArgumentParser) -> None:
+    """Register the shared ``--format text|json`` flag on a subcommand."""
+    parser.add_argument(
+        "--format",
+        dest="format",
+        default="text",
+        choices=OUTPUT_FORMATS,
+        help="output format (default: text)",
+    )
+
+
+def emit_json(payload) -> str:
+    """Canonical JSON rendering used by every subcommand."""
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def emit_rows(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    *,
+    title: str | None = None,
+    fmt: str = "text",
+) -> str:
+    """Render tabular results as an ASCII table or a JSON object."""
+    if fmt == "json":
+        return emit_json(
+            {
+                "title": title,
+                "headers": list(headers),
+                "rows": [list(r) for r in rows],
+            }
+        )
+    if fmt != "text":
+        raise ValueError(f"unknown output format {fmt!r}; known: {OUTPUT_FORMATS}")
+    return render_table(headers, rows, title=title)

@@ -1,4 +1,9 @@
-"""Shared hand-built kernels for tests (small, self-contained regions)."""
+"""Shared hand-built kernels for tests (small, self-contained regions).
+
+The ``build_*_race``/``build_undeclared_reduction`` kernels at the bottom
+are *deliberately broken* lint fixtures: they exercise the race and
+reduction detectors and must never be fed to the correctness executors.
+"""
 
 from repro.ir import Region
 
@@ -67,4 +72,35 @@ def build_rowwise() -> Region:
         with r.loop("j", n) as j:
             r.assign(acc, acc + A[i, j])
         r.store(y[i], acc)
+    return r
+
+
+def build_write_write_race() -> Region:
+    """LINT FIXTURE (do not execute): thread i writes A[i] *and* A[i+1].
+
+    Adjacent threads collide on every interior element — the canonical
+    cross-iteration write-write race (lint code RACE001).  The array has
+    extent n+1 so the overlap is the only defect.
+    """
+    r = Region("ww_race")
+    n = r.param("n")
+    A = r.array("A", (n + 1,), output=True)
+    with r.parallel_loop("i", n) as i:
+        r.store(A[i.sym], 1.0)
+        r.store(A[i.sym + 1], 2.0)
+    return r
+
+
+def build_undeclared_reduction() -> Region:
+    """LINT FIXTURE (do not execute): s[0] += x[i] with a plain store.
+
+    Every thread read-modify-writes the same accumulator cell without a
+    reduction clause (lint code RED001).
+    """
+    r = Region("plain_reduce")
+    n = r.param("n")
+    x = r.array("x", (n,))
+    s = r.array("s", (1,), inout=True)
+    with r.parallel_loop("i", n) as i:
+        r.store(s[0], s[0] + x[i])
     return r

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -24,6 +26,22 @@ class TestParser:
     def test_bad_mode_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["select", "gemm", "--mode", "huge"])
+
+    def test_lint_defaults(self):
+        args = build_parser().parse_args(["lint"])
+        assert args.benchmarks == []
+        assert args.platform == "p9-v100"
+        assert args.mode == "test"
+        assert args.format == "text"
+
+    def test_lint_accepts_benchmarks_and_json(self):
+        args = build_parser().parse_args(["lint", "syrk", "gemm", "--format", "json"])
+        assert args.benchmarks == ["syrk", "gemm"]
+        assert args.format == "json"
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["lint", "--format", "xml"])
 
 
 class TestCommands:
@@ -52,3 +70,25 @@ class TestCommands:
         assert main(["select", "atax", "--mode", "test", "--threads", "4"]) == 0
         out = capsys.readouterr().out
         assert "atax_k1" in out and "atax_k2" in out
+
+    def test_select_json_format(self, capsys):
+        assert main(["select", "atax", "--mode", "test", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [row[0] for row in payload["rows"]] == ["atax_k1", "atax_k2"]
+
+    def test_lint_one_benchmark_clean(self, capsys):
+        assert main(["lint", "syrk"]) == 0
+        out = capsys.readouterr().out
+        assert "syrk" in out
+        assert "0 error(s)" in out
+
+    def test_lint_whole_suite_exits_zero(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "24 region(s): 0 error(s)" in out
+
+    def test_lint_json_format(self, capsys):
+        assert main(["lint", "gemm", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["region"] == "gemm"
+        assert payload[0]["errors"] == 0

@@ -183,6 +183,79 @@ class TestRegionAnalysis:
         assert bound.mean_transactions() == 4.0
 
 
+class TestEdgeCases:
+    """Corner cases of the inter-thread stride model."""
+
+    def _collapse2_transposed(self):
+        r = Region("c2t")
+        n, m = r.param_tuple("n", "m")
+        A = r.array("A", (m, n), output=True)
+        with r.parallel_loop("i", n) as i:
+            with r.parallel_loop("j", m) as j:
+                r.store(A[j, i], 0.0)
+        return r
+
+    def test_collapse2_transposed_stride_is_row_length(self):
+        # flat index j*n + i: adjacent threads step j, so stride is n
+        res = analyze_region(self._collapse2_transposed())
+        (acc,) = res.accesses
+        assert acc.thread_stride == Sym("n")
+
+    def test_collapse_boundary_wraparound_ignored(self):
+        # With m=4 the lane pairs (i, m-1) -> (i+1, 0) wrap the collapse
+        # boundary and are NOT unit-stride, but IPDA models the common
+        # case: the innermost band coefficient still classifies the
+        # access, exactly as a warp mostly made of interior pairs behaves.
+        r = Region("c2wrap")
+        n, m = r.param_tuple("n", "m")
+        A = r.array("A", (n, m), output=True)
+        with r.parallel_loop("i", n) as i:
+            with r.parallel_loop("j", m) as j:
+                r.store(A[i, j], 0.0)
+        res = analyze_region(r)
+        (acc,) = res.accesses
+        assert acc.thread_stride == Const(1)
+        bound = res.bind({"n": 64, "m": 4})
+        assert bound.accesses[0].coalescing is CoalescingClass.COALESCED
+
+    def test_thread_invariant_access_is_uniform(self):
+        # x[k] never mentions the band variable: stride 0, one broadcast
+        r = Region("uniform")
+        n = r.param("n")
+        x = r.array("x", (n,))
+        y = r.array("y", (n,), output=True)
+        with r.parallel_loop("i", n) as i:
+            acc = r.local("acc", 0.0)
+            with r.loop("k", n) as k:
+                r.assign(acc, acc + x[k])
+            r.store(y[i], acc)
+        res = analyze_region(r)
+        x_acc = [a for a in res.accesses if a.access.array.name == "x"][0]
+        assert x_acc.thread_stride == Const(0)
+        bound = res.bind({"n": 1000})
+        x_bound = [
+            b for b in bound.accesses if b.stride.access.array.name == "x"
+        ][0]
+        assert x_bound.coalescing is CoalescingClass.UNIFORM
+        assert x_bound.transactions_per_access == 1
+
+    def test_triangular_inner_bounds(self):
+        # for j2 in [j1, m): the triangular lower bound must not disturb
+        # the band-coefficient stride (m for A[j1][j2], 1 innermost)
+        r = Region("tri")
+        m = r.param("m")
+        A = r.array("A", (m, m), output=True)
+        with r.parallel_loop("j1", m) as j1:
+            with r.loop("j2", m - j1.sym, start=j1) as j2:
+                r.store(A[j1, j2], 1.0)
+        res = analyze_region(r)
+        (acc,) = res.accesses
+        assert acc.thread_stride == Sym("m")
+        assert acc.innermost_sequential_stride() == Const(1)
+        bound = res.bind({"m": 512})
+        assert bound.accesses[0].coalescing is CoalescingClass.UNCOALESCED
+
+
 @given(n=st.integers(2, 10_000))
 def test_stride_binding_matches_direct_evaluation(n):
     """Property: bound stride equals evaluating the symbolic stride."""
