@@ -8,6 +8,7 @@ Installed as ``repro-paper`` (see pyproject.toml), or run as
     repro-paper select gemm --mode benchmark --platform p9-v100
     repro-paper lint                   # lint every bundled kernel
     repro-paper lint syrk --format json
+    repro-paper drift --launches 96    # drift sentinel scenario grid
     repro-paper probe tlb|gpu|epcc
 """
 
@@ -141,6 +142,22 @@ def _cmd_lint(args) -> int:
     return 1 if any(r.has_errors for r in reports) else 0
 
 
+def _cmd_drift(args) -> int:
+    from .experiments import run_drift
+    from .util import emit_json
+
+    result = run_drift(
+        platform=platform_by_name(args.platform),
+        launches=args.launches,
+        start=args.start,
+    )
+    if args.format == "json":
+        print(emit_json(result.to_payload()))
+    else:
+        print(result.render())
+    return 0 if result.passed else 1
+
+
 def _cmd_probe(args) -> int:
     from . import calibrate as cal
 
@@ -201,6 +218,29 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--mode", default="test", choices=("test", "benchmark"))
     add_format_argument(lint)
     lint.set_defaults(func=_cmd_lint)
+
+    drift = sub.add_parser(
+        "drift",
+        help=(
+            "run the drift-sentinel scenario grid "
+            "(exit 1 when a self-check fails)"
+        ),
+    )
+    drift.add_argument("--platform", default="p9-v100")
+    drift.add_argument(
+        "--launches",
+        type=int,
+        default=96,
+        help="launches per arm (default: 96)",
+    )
+    drift.add_argument(
+        "--start",
+        type=int,
+        default=24,
+        help="launch index at which the calibration skew begins (default: 24)",
+    )
+    add_format_argument(drift)
+    drift.set_defaults(func=_cmd_drift)
 
     probe = sub.add_parser("probe", help="run a calibration microbenchmark")
     probe.add_argument("what", choices=("tlb", "gpu", "epcc"))

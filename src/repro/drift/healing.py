@@ -1,0 +1,219 @@
+"""Self-healing target selection under model drift.
+
+When the sentinel declares a (device, region) stream DRIFTED the
+model-guided decision degrades gracefully instead of trusting a broken
+prediction:
+
+1. **corrected** — the drifting side's prediction is multiplied by the
+   stream's learned correction factor (``exp`` of the EWMA log-ratio), so
+   a stable multiplicative miscalibration is simply divided back out;
+2. **history** — when the stream's error is too *unstable* for a scalar
+   correction (``instability`` above the configured threshold), selection
+   falls back to measured history: pick the side that has actually been
+   faster lately;
+3. **re-promotion** — once the stream's residuals recover the sentinel
+   returns it to CALIBRATED and selection reverts to the pure model.
+
+A hysteresis dead-band around the CPU/GPU break-even point prevents
+flip-flopping: while the corrected (or measured) costs are within
+``hysteresis_band`` of each other, the previous decision for that region
+is held.
+
+The optional re-fit hook (:func:`attach_refit_hook`) closes the loop all
+the way back to :mod:`repro.calibrate.model_fit`: on the first DRIFTED
+edge the accumulated observations are folded into the policy's cached
+:class:`~repro.calibrate.ModelCalibration`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .sentinel import DriftSentinel, DriftState, StreamStats
+
+__all__ = [
+    "HealingConfig",
+    "DriftDecision",
+    "SelfHealingSelector",
+    "observed_calibration",
+    "attach_refit_hook",
+]
+
+
+@dataclass(frozen=True)
+class HealingConfig:
+    """Knobs of the degradation ladder."""
+
+    hysteresis_band: float = 0.05  # relative dead-band around break-even
+    history_instability: float = 0.35  # log-units; above -> history mode
+
+    def __post_init__(self):
+        if not 0.0 <= self.hysteresis_band < 1.0:
+            raise ValueError("hysteresis_band must be in [0, 1)")
+        if self.history_instability <= 0.0:
+            raise ValueError("history_instability must be positive")
+
+
+@dataclass(frozen=True)
+class DriftDecision:
+    """Drift provenance stamped on a launch record.
+
+    Only stamped when something is actually off (any stream not
+    CALIBRATED); fully calibrated launches leave no trace, keeping them
+    bit-identical to sentinel-off runs.
+    """
+
+    mode: str  # "model" | "corrected" | "history"
+    model_target: str  # the raw model's pick
+    target: str  # the healed pick
+    cpu_state: str  # DriftState values of the two streams
+    gpu_state: str
+    correction_cpu: float = 1.0
+    correction_gpu: float = 1.0
+    held: bool = False  # hysteresis held the previous decision
+
+    @property
+    def overrode(self) -> bool:
+        """Did healing change the raw model's decision?"""
+        return self.target != self.model_target
+
+
+class SelfHealingSelector:
+    """Wraps the sentinel's verdicts into a final cpu/gpu pick."""
+
+    def __init__(
+        self, sentinel: DriftSentinel, config: HealingConfig | None = None
+    ):
+        self.sentinel = sentinel
+        self.config = config or HealingConfig()
+        self._last: dict[str, str] = {}  # region -> previous healed pick
+
+    def decide(self, region: str, prediction) -> DriftDecision | None:
+        """Heal one selection; None when both streams are CALIBRATED.
+
+        ``prediction`` is any object with ``cpu.seconds``, ``gpu.seconds``
+        and ``winner`` (a :class:`~repro.models.SelectionPrediction`).
+        """
+        cpu_state = self.sentinel.state("cpu", region)
+        gpu_state = self.sentinel.state("gpu", region)
+        model_target = prediction.winner
+        if (
+            cpu_state is DriftState.CALIBRATED
+            and gpu_state is DriftState.CALIBRATED
+        ):
+            return None
+
+        corr_cpu = self.sentinel.correction("cpu", region)
+        corr_gpu = self.sentinel.correction("gpu", region)
+        drifted = DriftState.DRIFTED in (cpu_state, gpu_state)
+        mode = "corrected" if drifted else "model"
+        if mode == "corrected" and self._too_unstable(region, cpu_state, gpu_state):
+            mode = "history"
+
+        held = False
+        if mode == "model":
+            # SUSPECT only: watch, but do not second-guess the model yet.
+            target = model_target
+        elif mode == "corrected":
+            target, held = self._pick(
+                region,
+                prediction.cpu.seconds * corr_cpu,
+                prediction.gpu.seconds * corr_gpu,
+                model_target,
+            )
+        else:
+            m_cpu = self.sentinel.measured("cpu", region)
+            m_gpu = self.sentinel.measured("gpu", region)
+            if m_cpu is None or m_gpu is None:
+                # not enough history to overrule anything yet
+                mode, target = "corrected", model_target
+            else:
+                target, held = self._pick(region, m_cpu, m_gpu, model_target)
+        self._last[region] = target
+        return DriftDecision(
+            mode=mode,
+            model_target=model_target,
+            target=target,
+            cpu_state=cpu_state.value,
+            gpu_state=gpu_state.value,
+            correction_cpu=corr_cpu,
+            correction_gpu=corr_gpu,
+            held=held,
+        )
+
+    def _too_unstable(
+        self, region: str, cpu_state: DriftState, gpu_state: DriftState
+    ) -> bool:
+        limit = self.config.history_instability
+        return (
+            cpu_state is DriftState.DRIFTED
+            and self.sentinel.instability("cpu", region) > limit
+        ) or (
+            gpu_state is DriftState.DRIFTED
+            and self.sentinel.instability("gpu", region) > limit
+        )
+
+    def _pick(
+        self, region: str, cpu_cost: float, gpu_cost: float, model_target: str
+    ) -> tuple[str, bool]:
+        """Lower cost wins, with a hysteresis dead-band at break-even."""
+        if not (
+            math.isfinite(cpu_cost)
+            and math.isfinite(gpu_cost)
+            and cpu_cost > 0.0
+            and gpu_cost > 0.0
+        ):
+            return model_target, False
+        band = self.config.hysteresis_band
+        if gpu_cost < cpu_cost * (1.0 - band):
+            return "gpu", False
+        if gpu_cost > cpu_cost * (1.0 + band):
+            return "cpu", False
+        previous = self._last.get(region)
+        if previous is not None:
+            return previous, True
+        return ("gpu" if gpu_cost < cpu_cost else "cpu"), False
+
+
+def observed_calibration(sentinel: DriftSentinel, base):
+    """Fold the sentinel's accumulated observations into a calibration.
+
+    ``base`` is a :class:`~repro.calibrate.ModelCalibration`; the returned
+    copy scales each side by the geometric-mean observed/predicted ratio
+    of that side's streams (identity for sides with no observations), so
+    the re-fit model's residuals re-centre on zero.
+    """
+    import dataclasses
+
+    scales = sentinel.fitted_scales()
+    return dataclasses.replace(
+        base,
+        cpu_time_scale=base.cpu_time_scale * scales.get("cpu", 1.0),
+        gpu_time_scale=base.gpu_time_scale * scales.get("gpu", 1.0),
+    )
+
+
+def attach_refit_hook(
+    sentinel: DriftSentinel,
+    policy,
+    platform,
+    *,
+    num_threads: int | None = None,
+) -> None:
+    """Arm ``sentinel.on_drift`` to re-fit the policy's model calibration.
+
+    On the first DRIFTED edge the :mod:`repro.calibrate.model_fit`
+    constants are re-fitted and adjusted by the accumulated observations,
+    replacing the :class:`~repro.runtime.ModelGuided` policy's cached
+    calibration for ``(platform, num_threads)``.
+    """
+    from ..calibrate import fit_model_calibration
+
+    def hook(stream: StreamStats) -> None:
+        base = fit_model_calibration(platform, num_threads=num_threads)
+        policy._calibrations[(platform.name, num_threads)] = (
+            observed_calibration(sentinel, base)
+        )
+
+    sentinel.on_drift = hook

@@ -1,0 +1,334 @@
+"""Online misprediction detection: the drift sentinel.
+
+The paper's framework is hybrid static + runtime, but its runtime half
+trusts the analytical predictions unconditionally — a miscalibrated
+machine model silently mis-routes every launch.  The sentinel closes the
+predict→observe→correct loop: every launch contributes one observation of
+``log(observed / predicted)`` per (device, region) stream, and each stream
+runs
+
+* an **EWMA** of the log-ratio (the stream's current multiplicative model
+  error, whose exponential is the self-healing correction factor), and
+* a two-sided **CUSUM** change detector over the residual relative to the
+  stream's own warmup baseline (so *static* per-kernel model error — which
+  the paper analyses and this reproduction deliberately preserves — is not
+  flagged; only a *change* in the error structure is).
+
+Verdicts are three-state:
+
+* ``CALIBRATED`` — residuals within the CUSUM slack; the model is as
+  trustworthy as it was at warmup;
+* ``SUSPECT`` — the CUSUM statistic has left the noise floor but not yet
+  crossed the decision threshold;
+* ``DRIFTED`` — the threshold is crossed; corrections apply until the
+  residuals recover for ``recover_after`` consecutive observations.
+
+Everything is deterministic and observation-driven: with no drift the
+residuals of a deterministic workload are ~0 and every stream stays
+CALIBRATED forever, which is what keeps sentinel-on runs bit-identical to
+sentinel-off runs (see docs/ROBUSTNESS.md).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = [
+    "DriftState",
+    "SentinelConfig",
+    "Ewma",
+    "Cusum",
+    "StreamStats",
+    "DriftSentinel",
+]
+
+
+class DriftState(str, enum.Enum):
+    CALIBRATED = "calibrated"
+    SUSPECT = "suspect"
+    DRIFTED = "drifted"
+
+
+@dataclass(frozen=True)
+class SentinelConfig:
+    """Tuning knobs of the per-stream detectors (defaults are conservative)."""
+
+    ewma_alpha: float = 0.3  # weight of the newest log-ratio
+    warmup: int = 3  # observations used to anchor the baseline
+    cusum_k: float = 0.05  # slack per observation (log units)
+    cusum_h: float = 0.6  # decision threshold (log units)
+    suspect_fraction: float = 0.5  # SUSPECT above h * fraction
+    recover_band: float = 0.1  # |residual| counted as recovered
+    recover_after: int = 4  # consecutive in-band residuals to re-promote
+    correction_clamp: float = 64.0  # corrections confined to [1/c, c]
+    measured_alpha: float = 0.5  # EWMA weight for measured-seconds history
+
+    def __post_init__(self):
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if not 0.0 < self.measured_alpha <= 1.0:
+            raise ValueError("measured_alpha must be in (0, 1]")
+        if self.warmup < 1:
+            raise ValueError("warmup must be >= 1")
+        if self.cusum_k < 0 or self.cusum_h <= 0:
+            raise ValueError("cusum_k must be >= 0 and cusum_h > 0")
+        if not 0.0 < self.suspect_fraction < 1.0:
+            raise ValueError("suspect_fraction must be in (0, 1)")
+        if self.recover_band <= 0 or self.recover_after < 1:
+            raise ValueError("recovery band/count must be positive")
+        if self.correction_clamp < 1.0:
+            raise ValueError("correction_clamp must be >= 1")
+
+
+@dataclass
+class Ewma:
+    """Exponentially weighted moving average, seeded by the first sample."""
+
+    alpha: float
+    value: float = 0.0
+    count: int = 0
+
+    def update(self, x: float) -> float:
+        if self.count == 0:
+            self.value = x
+        else:
+            self.value += self.alpha * (x - self.value)
+        self.count += 1
+        return self.value
+
+
+@dataclass
+class Cusum:
+    """Two-sided CUSUM change detector (Page's test).
+
+    ``pos`` accumulates upward shifts, ``neg`` downward ones; each step
+    sheds the slack ``k``, so a zero-mean residual stream decays both
+    sides back to zero.  ``tripped`` when either side exceeds ``h``.
+    """
+
+    k: float
+    h: float
+    pos: float = 0.0
+    neg: float = 0.0
+
+    def update(self, x: float) -> bool:
+        self.pos = max(0.0, self.pos + x - self.k)
+        self.neg = max(0.0, self.neg - x - self.k)
+        return self.tripped
+
+    @property
+    def statistic(self) -> float:
+        return max(self.pos, self.neg)
+
+    @property
+    def tripped(self) -> bool:
+        return self.statistic > self.h
+
+    def reset(self) -> None:
+        self.pos = self.neg = 0.0
+
+
+class StreamStats:
+    """Rolling predicted-vs-observed statistics for one (device, region)."""
+
+    def __init__(self, device: str, region: str, config: SentinelConfig):
+        self.device = device
+        self.region = region
+        self.config = config
+        self.state = DriftState.CALIBRATED
+        self.observations = 0  # valid (finite, positive) observations
+        self.baseline: float | None = None  # mean warmup log-ratio
+        self.ratio_ewma = Ewma(config.ewma_alpha)
+        #: EWMA of |log-ratio - ratio_ewma|: how *unstable* the model
+        #: error is.  A stable bias is fixable by a multiplicative
+        #: correction; an unstable one is not (see healing.py).
+        self.instability = Ewma(config.ewma_alpha)
+        self.cusum = Cusum(config.cusum_k, config.cusum_h)
+        self.measured = Ewma(config.measured_alpha)  # observed seconds
+        self._warmup_sum = 0.0
+        self._recover_streak = 0
+        self.drift_count = 0  # CALIBRATED/SUSPECT -> DRIFTED transitions
+
+    def observe(self, predicted: float, observed: float) -> DriftState:
+        """Feed one launch's prediction/measurement pair; return the verdict.
+
+        Non-finite or non-positive pairs carry no ratio information (a
+        failed launch measures no useful time) and are ignored.
+        """
+        if not (
+            math.isfinite(predicted)
+            and math.isfinite(observed)
+            and predicted > 0.0
+            and observed > 0.0
+        ):
+            return self.state
+        log_ratio = math.log(observed / predicted)
+        self.observations += 1
+        self.instability.update(
+            abs(log_ratio - self.ratio_ewma.value)
+            if self.ratio_ewma.count
+            else 0.0
+        )
+        self.ratio_ewma.update(log_ratio)
+        self.measured.update(observed)
+        if self.observations <= self.config.warmup:
+            self._warmup_sum += log_ratio
+            if self.observations == self.config.warmup:
+                self.baseline = self._warmup_sum / self.config.warmup
+            return self.state
+        residual = log_ratio - (self.baseline or 0.0)
+        self.cusum.update(residual)
+        if self.state is DriftState.DRIFTED:
+            # recovery is streak-based: the CUSUM statistic only decays by
+            # k per observation, which would hold a long drift open far
+            # past the point the residuals returned to baseline.
+            if abs(residual) <= self.config.recover_band:
+                self._recover_streak += 1
+                # the model looks right again — re-anchor so the applied
+                # correction collapses to ~1 immediately instead of
+                # decaying over several EWMA steps while mis-routing
+                self.ratio_ewma.value = log_ratio
+            else:
+                self._recover_streak = 0
+            if self._recover_streak >= self.config.recover_after:
+                self.state = DriftState.CALIBRATED
+                self.cusum.reset()
+                self._recover_streak = 0
+        elif self.cusum.tripped:
+            self.state = DriftState.DRIFTED
+            self.drift_count += 1
+            self._recover_streak = 0
+            # The CUSUM just certified a level shift: re-anchor the ratio
+            # estimate on the shifted observation (so the correction is
+            # usable immediately) and restart the instability estimator
+            # (so the shift transient is not mistaken for an unstable
+            # error — only *post-drift* scatter escalates to history mode).
+            self.ratio_ewma.value = log_ratio
+            self.instability = Ewma(self.config.ewma_alpha)
+        elif self.cusum.statistic > self.config.cusum_h * self.config.suspect_fraction:
+            self.state = DriftState.SUSPECT
+        else:
+            self.state = DriftState.CALIBRATED
+        return self.state
+
+    def correction(self) -> float:
+        """Multiplicative fix for the stream's prediction (1.0 unless DRIFTED).
+
+        The correction undoes the *shift* relative to the warmup baseline
+        — ``exp(ewma - baseline)`` — not the full observed/predicted
+        ratio: the static per-kernel model error captured by the baseline
+        is part of the analytical model's accepted behaviour (both
+        devices' predictions carry it, so it cancels in the comparison),
+        and correcting only one side's static error would bias the
+        selection toward that side.  Clamped so one absurd observation
+        cannot blow up the selection.
+        """
+        if self.state is not DriftState.DRIFTED or self.ratio_ewma.count == 0:
+            return 1.0
+        shift = self.ratio_ewma.value - (self.baseline or 0.0)
+        clamp = self.config.correction_clamp
+        return min(max(math.exp(shift), 1.0 / clamp), clamp)
+
+    def measured_seconds(self) -> float | None:
+        """Recent observed seconds (None before any valid observation)."""
+        return self.measured.value if self.measured.count else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StreamStats({self.device!r}, {self.region!r}, "
+            f"{self.state.value}, n={self.observations}, "
+            f"ratio=e^{self.ratio_ewma.value:.3f}, "
+            f"cusum={self.cusum.statistic:.3f})"
+        )
+
+
+class DriftSentinel:
+    """Per-(device, region) drift detection across a runtime's launches.
+
+    The runtimes feed ``observe`` after every launch; selection-time
+    consumers (the self-healing selector, the multi-device argmin) read
+    ``state``/``correction``.  ``on_drift`` fires once per
+    CALIBRATED/SUSPECT→DRIFTED edge — the hook point for triggering a
+    :mod:`repro.calibrate.model_fit` re-fit (see healing.py).
+    """
+
+    def __init__(
+        self,
+        config: SentinelConfig | None = None,
+        *,
+        on_drift: Callable[[StreamStats], None] | None = None,
+    ):
+        self.config = config or SentinelConfig()
+        self.on_drift = on_drift
+        self.streams: dict[tuple[str, str], StreamStats] = {}
+
+    def stream(self, device: str, region: str) -> StreamStats:
+        key = (device, region)
+        if key not in self.streams:
+            self.streams[key] = StreamStats(device, region, self.config)
+        return self.streams[key]
+
+    def observe(
+        self, device: str, region: str, predicted: float, observed: float
+    ) -> DriftState:
+        stream = self.stream(device, region)
+        before = stream.state
+        state = stream.observe(predicted, observed)
+        if (
+            state is DriftState.DRIFTED
+            and before is not DriftState.DRIFTED
+            and self.on_drift is not None
+        ):
+            self.on_drift(stream)
+        return state
+
+    def state(self, device: str, region: str) -> DriftState:
+        stream = self.streams.get((device, region))
+        return stream.state if stream else DriftState.CALIBRATED
+
+    def correction(self, device: str, region: str) -> float:
+        stream = self.streams.get((device, region))
+        return stream.correction() if stream else 1.0
+
+    def measured(self, device: str, region: str) -> float | None:
+        stream = self.streams.get((device, region))
+        return stream.measured_seconds() if stream else None
+
+    def instability(self, device: str, region: str) -> float:
+        stream = self.streams.get((device, region))
+        return stream.instability.value if stream else 0.0
+
+    def drifted_streams(self) -> list[StreamStats]:
+        return [s for s in self.streams.values() if s.state is DriftState.DRIFTED]
+
+    def any_drifted(self) -> bool:
+        return any(
+            s.state is DriftState.DRIFTED for s in self.streams.values()
+        )
+
+    def fitted_scales(self) -> dict[str, float]:
+        """Per-device geometric-mean observed/predicted ratio.
+
+        The "accumulated observations" a re-fit can fold into the model
+        calibration: scaling a device's predictions by its fitted scale
+        centres that device's residuals back on zero.
+        """
+        ratios: dict[str, list[float]] = {}
+        for stream in self.streams.values():
+            if stream.ratio_ewma.count:
+                ratios.setdefault(stream.device, []).append(
+                    stream.ratio_ewma.value
+                )
+        return {
+            device: math.exp(sum(vals) / len(vals))
+            for device, vals in ratios.items()
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        drifted = sum(
+            1 for s in self.streams.values() if s.state is DriftState.DRIFTED
+        )
+        return f"DriftSentinel({len(self.streams)} streams, {drifted} drifted)"

@@ -1,0 +1,51 @@
+"""Watchdog deadlines derived from the selector's own prediction.
+
+A hung device is only caught by the fault injector today; a real runtime
+must catch it from *behaviour*.  The watchdog turns the analytical
+prediction into a per-launch deadline::
+
+    deadline = predicted_seconds * factor + slack_s
+
+A dispatch whose (simulated) device time exceeds its deadline is killed
+at the deadline and surfaces as a typed
+:class:`~repro.faults.DeadlineExceeded` — a :class:`~repro.faults.DeviceError`
+that feeds the existing :class:`~repro.faults.DeviceHealth` /
+:class:`~repro.faults.CircuitBreaker` machinery, so repeated hangs open
+the breaker exactly like injected faults do.
+
+``factor`` buys headroom for honest model error (the reproduction's
+models are off by a few× on unfriendly kernels — see docs/MODELS.md);
+``slack_s`` keeps microsecond-scale predictions from producing
+unsatisfiable deadlines.  With no prediction available (the always-*
+policies) no deadline can be derived and the watchdog stays silent.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["Watchdog"]
+
+
+@dataclass(frozen=True)
+class Watchdog:
+    """Deadline policy: ``predicted * factor + slack_s`` simulated seconds."""
+
+    factor: float = 8.0
+    slack_s: float = 1e-4
+
+    def __post_init__(self):
+        if not math.isfinite(self.factor) or self.factor < 1.0:
+            raise ValueError("watchdog factor must be finite and >= 1")
+        if not math.isfinite(self.slack_s) or self.slack_s < 0.0:
+            raise ValueError("watchdog slack must be finite and >= 0")
+
+    def deadline(self, predicted_seconds: float) -> float:
+        """Deadline for one launch; inf when no usable prediction exists."""
+        if not math.isfinite(predicted_seconds) or predicted_seconds <= 0.0:
+            return math.inf
+        return predicted_seconds * self.factor + self.slack_s
+
+    def exceeded(self, predicted_seconds: float, observed_seconds: float) -> bool:
+        return observed_seconds > self.deadline(predicted_seconds)

@@ -19,6 +19,13 @@ from .figure45 import Figure45Result, RegimePoint, run_figure45
 from .figure67 import Figure67Result, PredictionRow, run_figure6, run_figure7
 from .figure8 import Figure8Result, Figure8Row, run_figure8
 from .ablations import AblationResult, AblationScore, run_ablations
+from .drift import (
+    DriftResult,
+    DriftScore,
+    SkewScenario,
+    default_scenarios,
+    run_drift,
+)
 from .faults import FaultScore, FaultsResult, run_faults
 from .summary import Claim, SummaryResult, run_summary
 from .crossgen import CrossGenResult, GENERATIONS, run_crossgen
@@ -40,6 +47,11 @@ __all__ = [
     "FaultScore",
     "FaultsResult",
     "run_faults",
+    "DriftResult",
+    "DriftScore",
+    "SkewScenario",
+    "default_scenarios",
+    "run_drift",
     "Figure45Result",
     "RegimePoint",
     "run_figure45",

@@ -13,6 +13,7 @@ pieces the runtimes compose:
 """
 
 from .errors import (
+    DeadlineExceeded,
     DeviceError,
     DeviceMemoryError,
     KernelTimeout,
@@ -37,6 +38,7 @@ from .resilient import DispatchResult, dispatch_with_retries
 from .retry import RetryPolicy, SimulatedClock
 
 __all__ = [
+    "DeadlineExceeded",
     "DeviceError",
     "DeviceMemoryError",
     "KernelTimeout",

@@ -16,6 +16,7 @@ __all__ = [
     "TransferError",
     "KernelTimeout",
     "TransientDeviceError",
+    "DeadlineExceeded",
 ]
 
 
@@ -67,3 +68,36 @@ class TransientDeviceError(DeviceError):
     """A generic recoverable device hiccup (ECC retry, driver reset...)."""
 
     retryable = True
+
+
+class DeadlineExceeded(DeviceError):
+    """The dispatch overran its watchdog deadline and was killed.
+
+    Unlike :class:`KernelTimeout` (an *injected* hang), this is raised by
+    the runtime itself when the observed device time exceeds the deadline
+    derived from the selector's own prediction (``predicted * factor +
+    slack`` — see :class:`repro.drift.Watchdog`).  Not retryable: the
+    simulated duration is deterministic for a given binding, so a retry
+    would only burn another deadline before the same overrun.
+    """
+
+    retryable = False
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        device_name: str = "?",
+        launch_index: int = -1,
+        attempt: int = 1,
+        deadline_seconds: float = float("inf"),
+        observed_seconds: float = float("nan"),
+    ):
+        super().__init__(
+            message,
+            device_name=device_name,
+            launch_index=launch_index,
+            attempt=attempt,
+        )
+        self.deadline_seconds = deadline_seconds
+        self.observed_seconds = observed_seconds

@@ -17,6 +17,12 @@ failure rate whose ``penalty()`` multiplier the runtimes apply to the
 analytical GPU prediction — a device that keeps faulting looks slower and
 slower to the selector until the models route around it even before the
 breaker trips.
+
+When wired to the runtime's :class:`~repro.faults.SimulatedClock` with a
+``decay_halflife_s``, the failure rate also decays over *simulated* time:
+a device that has been healthy for a long simulated interval sheds its
+penalty instead of carrying it forever.  Without a clock (the default)
+the historical launch-count-only behaviour is preserved exactly.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ import enum
 from dataclasses import dataclass, field
 
 from .errors import DeviceError
+from .retry import SimulatedClock
 
 __all__ = ["BreakerState", "CircuitBreaker", "DeviceHealth"]
 
@@ -89,17 +96,44 @@ class DeviceHealth:
     breaker: CircuitBreaker = field(default_factory=CircuitBreaker)
     ewma_alpha: float = 0.25  # weight of the newest outcome
     penalty_weight: float = 4.0  # prediction multiplier per unit failure rate
+    clock: SimulatedClock | None = None  # simulated time base for decay
+    decay_halflife_s: float | None = None  # None = no time-based decay
     successes: int = 0
     failures: int = 0
     failure_ewma: float = 0.0
     fault_counts: dict[str, int] = field(default_factory=dict)
+    _last_decay_now: float | None = field(default=None, repr=False)
+
+    def __post_init__(self):
+        if self.decay_halflife_s is not None and self.decay_halflife_s <= 0:
+            raise ValueError("decay_halflife_s must be positive")
+
+    def _decay(self) -> None:
+        """Shed failure weight for the simulated time elapsed since last look."""
+        if self.clock is None or self.decay_halflife_s is None:
+            return
+        now = self.clock.now
+        if self._last_decay_now is None:
+            self._last_decay_now = now
+            return
+        elapsed = now - self._last_decay_now
+        if elapsed < 0:
+            raise ValueError(
+                f"simulated clock moved backwards ({self._last_decay_now:g}s "
+                f"-> {now:g}s); DeviceHealth decay needs a monotonic clock"
+            )
+        if elapsed > 0:
+            self.failure_ewma *= 0.5 ** (elapsed / self.decay_halflife_s)
+            self._last_decay_now = now
 
     def record_success(self) -> None:
+        self._decay()
         self.successes += 1
         self.failure_ewma *= 1.0 - self.ewma_alpha
         self.breaker.record_success()
 
     def record_failure(self, error: DeviceError) -> None:
+        self._decay()
         self.failures += 1
         self.failure_ewma += self.ewma_alpha * (1.0 - self.failure_ewma)
         name = type(error).__name__
@@ -111,7 +145,10 @@ class DeviceHealth:
 
         Exactly 1.0 while the device has never failed, so a fault-free run
         makes bit-identical decisions to a runtime without health tracking.
+        Time-based decay (when configured) is applied lazily here, so a
+        long-healthy device reads a shrunken penalty.
         """
+        self._decay()
         return 1.0 + self.penalty_weight * self.failure_ewma
 
     @property

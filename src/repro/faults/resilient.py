@@ -23,6 +23,7 @@ FALLBACK_BREAKER = "breaker-open"
 FALLBACK_HEALTH = "health-penalty"
 FALLBACK_RETRIES = "retries-exhausted"
 FALLBACK_FATAL = "non-retryable-fault"
+FALLBACK_DEADLINE = "deadline-exceeded"
 
 
 @dataclass(frozen=True)

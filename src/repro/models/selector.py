@@ -48,6 +48,28 @@ class SelectionPrediction:
     def winner(self) -> str:
         return "gpu" if self.offload else "cpu"
 
+    def scaled(
+        self, cpu_scale: float = 1.0, gpu_scale: float = 1.0
+    ) -> "SelectionPrediction":
+        """A copy with either side's predicted seconds multiplied.
+
+        The drift machinery's common operation: apply a learned correction
+        factor (or an injected calibration skew) to one side without
+        rebuilding the underlying model predictions.  Returns ``self``
+        when both scales are exactly 1, so the untouched object keeps
+        identity-level comparability.
+        """
+        if cpu_scale == 1.0 and gpu_scale == 1.0:
+            return self
+        return SelectionPrediction(
+            cpu=dataclasses.replace(
+                self.cpu, seconds=self.cpu.seconds * cpu_scale
+            ),
+            gpu=dataclasses.replace(
+                self.gpu, seconds=self.gpu.seconds * gpu_scale
+            ),
+        )
+
 
 def predict_both(
     bound: BoundAttributes,

@@ -1,11 +1,13 @@
 """OpenMP-style offloading runtime with target selection (Figure 2).
 
 Fault-tolerant dispatch (retry, fallback, circuit breaking) lives in
-:mod:`repro.faults`; the commonly-paired pieces are re-exported here so
-``from repro.runtime import OffloadingRuntime, RetryPolicy, scenario_by_name``
+:mod:`repro.faults` and drift detection / self-healing in
+:mod:`repro.drift`; the commonly-paired pieces are re-exported here so
+``from repro.runtime import OffloadingRuntime, DriftSentinel, Watchdog``
 reads naturally.
 """
 
+from ..drift import DriftSentinel, SentinelConfig, Watchdog
 from ..faults import (
     DeviceHealth,
     FaultInjector,
@@ -41,7 +43,10 @@ __all__ = [
     "LaunchRecord",
     "OffloadingRuntime",
     "DeviceHealth",
+    "DriftSentinel",
     "FaultInjector",
     "RetryPolicy",
+    "SentinelConfig",
+    "Watchdog",
     "scenario_by_name",
 ]

@@ -21,6 +21,16 @@ Dispatch is also *gated* (docs/LINT.md): an optional
 band carries race-severity lint findings — raising, forcing the host, or
 merely recording, per its mode.  Lint-clean regions leave no trace in the
 record (``lint=None``), so they too stay bit-identical.
+
+Dispatch is finally *drift-aware* (docs/ROBUSTNESS.md): an optional
+:class:`~repro.drift.DriftSentinel` tracks predicted-vs-observed seconds
+per (device, region), a :class:`~repro.drift.Watchdog` turns the
+prediction into a per-launch deadline (an overrun becomes a typed
+:class:`~repro.faults.DeadlineExceeded` feeding the health/breaker
+machinery), and the :class:`~repro.drift.SelfHealingSelector` degrades
+the model-guided decision gracefully when a stream is DRIFTED.  While
+every stream is CALIBRATED the record carries no drift provenance
+(``drift=None``) and sentinel-on runs stay bit-identical too.
 """
 
 from __future__ import annotations
@@ -30,7 +40,9 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 from ..analysis import ProgramAttributeDatabase, RegionAttributes
+from ..drift import DriftDecision, DriftSentinel, SelfHealingSelector, Watchdog
 from ..faults import (
+    DeadlineExceeded,
     DeviceHealth,
     FaultEvent,
     FaultInjector,
@@ -39,7 +51,11 @@ from ..faults import (
     dispatch_with_retries,
     region_footprint_bytes,
 )
-from ..faults.resilient import FALLBACK_BREAKER, FALLBACK_HEALTH
+from ..faults.resilient import (
+    FALLBACK_BREAKER,
+    FALLBACK_DEADLINE,
+    FALLBACK_HEALTH,
+)
 from ..ir import Region
 from ..lint.gate import FALLBACK_LINT, GateDecision, LintGate, LintGateError
 from ..machines import Platform
@@ -72,6 +88,7 @@ class LaunchRecord:
     fallback: str | None = None  # why the launch left the requested target
     overhead_seconds: float = 0.0  # simulated retry backoff
     lint: GateDecision | None = None  # gate verdict (None = clean or no gate)
+    drift: DriftDecision | None = None  # sentinel verdict (None = calibrated)
 
     @property
     def true_speedup(self) -> float:
@@ -128,13 +145,23 @@ class OffloadingRuntime:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     apply_health_penalty: bool = True
     lint_gate: LintGate | None = None
+    sentinel: DriftSentinel | None = None
+    watchdog: Watchdog | None = None
+    health_decay_halflife_s: float | None = None  # simulated-time penalty decay
 
     def __post_init__(self):
         self._host = HostDevice(self.platform.host, num_threads=self.num_threads)
         self._accel = AcceleratorDevice(self.platform.gpu, self.platform.bus)
         self.clock = SimulatedClock()
-        self.health = DeviceHealth(self._accel.name)
+        self.health = DeviceHealth(
+            self._accel.name,
+            clock=self.clock,
+            decay_halflife_s=self.health_decay_halflife_s,
+        )
         self._accel_launches = 0  # per-device dispatch ordinal for the injector
+        self._healer = (
+            SelfHealingSelector(self.sentinel) if self.sentinel else None
+        )
 
     # -- compile time -------------------------------------------------------
     def compile_region(self, region: Region) -> RegionAttributes:
@@ -157,6 +184,14 @@ class OffloadingRuntime:
             sim_cpu_seconds=cpu_rec.seconds,
             sim_gpu_seconds=gpu_rec.seconds,
         )
+        # Self-healing selection: when the sentinel has flagged a stream,
+        # the healed pick *is* the request (the raw model pick survives in
+        # the drift provenance).  None while everything is CALIBRATED.
+        drift_decision: DriftDecision | None = None
+        if self._healer is not None and prediction is not None:
+            drift_decision = self._healer.decide(region_name, prediction)
+            if drift_decision is not None:
+                requested = drift_decision.target
         target = requested
         fallback: str | None = None
         attempts = 0
@@ -175,13 +210,14 @@ class OffloadingRuntime:
         if target == "gpu":
             target, fallback = self._pre_dispatch_reroute(prediction)
         if target == "gpu":
+            launch_index = self._accel_launches
             result = dispatch_with_retries(
                 injector=self.injector,
                 retry=self.retry,
                 clock=self.clock,
                 health=self.health,
                 device_name=self._accel.name,
-                launch_index=self._accel_launches,
+                launch_index=launch_index,
                 footprint_bytes=region_footprint_bytes(attrs.region, env),
                 memory_bytes=int(self._accel.gpu.mem_size_gib * 2**30),
             )
@@ -191,9 +227,31 @@ class OffloadingRuntime:
             overhead = result.overhead_seconds
             if not result.ok:
                 target, fallback = "cpu", result.reason
+            elif self.watchdog is not None and prediction is not None:
+                overrun = self._check_deadline(
+                    prediction, drift_decision, gpu_rec.seconds, launch_index,
+                    attempts,
+                )
+                if overrun is not None:
+                    deadline_event, deadline = overrun
+                    events = events + (deadline_event,)
+                    # the deadline's worth of device time was burned before
+                    # the kill; the host then reruns the region
+                    overhead += deadline
+                    self.clock.advance(deadline)
+                    target, fallback = "cpu", FALLBACK_DEADLINE
 
         executed = (cpu_rec.seconds if target == "cpu" else gpu_rec.seconds)
         executed += overhead
+        if self.sentinel is not None and prediction is not None:
+            # post-mortem: both sides are simulated every launch, so both
+            # streams learn regardless of where the region actually ran
+            self.sentinel.observe(
+                "cpu", region_name, prediction.cpu.seconds, cpu_rec.seconds
+            )
+            self.sentinel.observe(
+                "gpu", region_name, prediction.gpu.seconds, gpu_rec.seconds
+            )
         return LaunchRecord(
             region_name=region_name,
             target=target,
@@ -208,7 +266,49 @@ class OffloadingRuntime:
             fallback=fallback,
             overhead_seconds=overhead,
             lint=lint_decision,
+            drift=drift_decision,
         )
+
+    @staticmethod
+    def _deadline_basis(
+        prediction: SelectionPrediction, drift: DriftDecision | None
+    ) -> float:
+        """GPU seconds the watchdog budgets from: the (healed) prediction."""
+        correction = drift.correction_gpu if drift is not None else 1.0
+        return prediction.gpu.seconds * correction
+
+    def _check_deadline(
+        self,
+        prediction: SelectionPrediction,
+        drift: DriftDecision | None,
+        observed_gpu_seconds: float,
+        launch_index: int,
+        attempt: int,
+    ) -> tuple[FaultEvent, float] | None:
+        """Kill a dispatch that overran its deadline; feed the breaker."""
+        basis = self._deadline_basis(prediction, drift)
+        deadline = self.watchdog.deadline(basis)
+        if observed_gpu_seconds <= deadline:
+            return None
+        err = DeadlineExceeded(
+            f"device time {observed_gpu_seconds:.3e}s exceeded watchdog "
+            f"deadline {deadline:.3e}s (predicted {basis:.3e}s x "
+            f"{self.watchdog.factor:g} + {self.watchdog.slack_s:g}s)",
+            device_name=self._accel.name,
+            launch_index=launch_index,
+            attempt=max(attempt, 1),
+            deadline_seconds=deadline,
+            observed_seconds=observed_gpu_seconds,
+        )
+        self.health.record_failure(err)
+        event = FaultEvent(
+            device_name=err.device_name,
+            launch_index=err.launch_index,
+            attempt=err.attempt,
+            error_type=type(err).__name__,
+            message=str(err),
+        )
+        return event, deadline
 
     def _pre_dispatch_reroute(
         self, prediction: SelectionPrediction | None

@@ -19,6 +19,16 @@ An optional :class:`~repro.lint.LintGate` screens regions before any
 accelerator dispatch, exactly as on the single-device runtime: a region
 with race-severity findings raises, runs on the host, or is merely
 recorded, per the gate mode (docs/LINT.md).
+
+Selection is also drift-aware (docs/ROBUSTNESS.md): with a
+:class:`~repro.drift.DriftSentinel` attached, every device's prediction
+is additionally scaled by its stream's learned correction factor once
+that stream is DRIFTED, and a :class:`~repro.drift.Watchdog` deadline
+(from the executed device's own prediction) kills overruns onto the host
+as typed :class:`~repro.faults.DeadlineExceeded` failures.  The full
+hysteresis/measured-history ladder of the two-device runtime does not
+apply here — corrections fold straight into the argmin.  All streams
+CALIBRATED leaves records bit-identical (``drift=None``).
 """
 
 from __future__ import annotations
@@ -28,7 +38,9 @@ from typing import Mapping
 
 from ..analysis import ProgramAttributeDatabase
 from ..calibrate import fit_model_calibration
+from ..drift import DriftSentinel, DriftState, Watchdog
 from ..faults import (
+    DeadlineExceeded,
     DeviceHealth,
     FaultEvent,
     FaultInjector,
@@ -37,7 +49,7 @@ from ..faults import (
     dispatch_with_retries,
     region_footprint_bytes,
 )
-from ..faults.resilient import FALLBACK_BREAKER
+from ..faults.resilient import FALLBACK_BREAKER, FALLBACK_DEADLINE
 from ..ir import Region
 from ..lint.gate import FALLBACK_LINT, GateDecision, LintGate, LintGateError
 from ..machines import AcceleratorSlot, Platform
@@ -74,6 +86,8 @@ class MultiLaunchRecord:
     fallback: str | None = None  # why the launch left the chosen device
     overhead_seconds: float = 0.0  # simulated retry backoff
     lint: GateDecision | None = None  # gate verdict (None = clean or no gate)
+    #: (device_name, drift-state) pairs for streams not CALIBRATED
+    drift: tuple[tuple[str, str], ...] | None = None
 
     def outcome_of(self, device_name: str) -> DeviceOutcome:
         for o in self.outcomes:
@@ -117,6 +131,9 @@ class MultiDeviceRuntime:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     apply_health_penalty: bool = True
     lint_gate: LintGate | None = None
+    sentinel: DriftSentinel | None = None
+    watchdog: Watchdog | None = None
+    health_decay_halflife_s: float | None = None  # simulated-time penalty decay
 
     def __post_init__(self):
         if not self.platform.accelerators:
@@ -128,7 +145,14 @@ class MultiDeviceRuntime:
         ]
         self._calibrations: dict[str, object] = {}
         self.clock = SimulatedClock()
-        self.health = {dev.name: DeviceHealth(dev.name) for dev in self._accels}
+        self.health = {
+            dev.name: DeviceHealth(
+                dev.name,
+                clock=self.clock,
+                decay_halflife_s=self.health_decay_halflife_s,
+            )
+            for dev in self._accels
+        }
         self._accel_launches = {dev.name: 0 for dev in self._accels}
 
     def compile_region(self, region: Region):
@@ -154,11 +178,35 @@ class MultiDeviceRuntime:
             calibration=self._calibrations[view.name],
         )
 
-    def _effective_predicted(self, outcome: DeviceOutcome) -> float:
-        """Predicted seconds scaled by the device's health penalty."""
+    def _effective_predicted(
+        self, outcome: DeviceOutcome, region_name: str | None = None
+    ) -> float:
+        """Predicted seconds scaled by health penalty and drift correction."""
+        predicted = outcome.predicted_seconds
+        if self.sentinel is not None and region_name is not None:
+            # 1.0 unless this device's stream is DRIFTED
+            predicted *= self.sentinel.correction(outcome.device_name, region_name)
         if outcome.kind == "cpu" or not self.apply_health_penalty:
-            return outcome.predicted_seconds
-        return outcome.predicted_seconds * self.health[outcome.device_name].penalty()
+            return predicted
+        return predicted * self.health[outcome.device_name].penalty()
+
+    def _observe_outcomes(
+        self, region_name: str, outcomes: list[DeviceOutcome]
+    ) -> tuple[tuple[str, str], ...] | None:
+        """Feed the sentinel post-launch; return the drift provenance."""
+        if self.sentinel is None:
+            return None
+        for o in outcomes:
+            self.sentinel.observe(
+                o.device_name, region_name, o.predicted_seconds, o.measured_seconds
+            )
+        flagged = tuple(
+            (o.device_name, self.sentinel.state(o.device_name, region_name).value)
+            for o in outcomes
+            if self.sentinel.state(o.device_name, region_name)
+            is not DriftState.CALIBRATED
+        )
+        return flagged or None
 
     def _dispatch(
         self, region: Region, env: Mapping[str, int], candidates: list[DeviceOutcome]
@@ -229,15 +277,19 @@ class MultiDeviceRuntime:
         for health in self.health.values():
             health.breaker.on_launch()
 
-        # Health-aware selection: penalized predictions, open breakers
-        # skipped (the host is always a candidate so the pool is never
-        # empty).  Fault-free this is the plain prediction argmin.
+        # Health- and drift-aware selection: penalized (and, for DRIFTED
+        # streams, corrected) predictions, open breakers skipped (the host
+        # is always a candidate so the pool is never empty).  Fault-free
+        # and fully calibrated this is the plain prediction argmin.
+        def effective(o: DeviceOutcome) -> float:
+            return self._effective_predicted(o, region_name)
+
         selectable = [
             o
             for o in outcomes
             if o.kind == "cpu" or self.health[o.device_name].breaker.allows()
         ]
-        chosen = min(selectable, key=self._effective_predicted).device_name
+        chosen = min(selectable, key=effective).device_name
 
         # Pre-dispatch lint gate: a region with blocking findings never
         # reaches an accelerator (the host runs it instead), and the
@@ -260,17 +312,57 @@ class MultiDeviceRuntime:
                 executed_device=host.device_name,
                 fallback=FALLBACK_LINT,
                 lint=lint_decision,
+                drift=self._observe_outcomes(region_name, outcomes),
             )
 
         # Dispatch order: chosen first, then the remaining candidates by
         # effective prediction; the host terminates the chain.
-        ranked = sorted(outcomes, key=self._effective_predicted)
+        ranked = sorted(outcomes, key=effective)
         order = [self.outcome_by_name(outcomes, chosen)]
         order += [o for o in ranked if o.device_name != chosen and o.kind == "gpu"]
         order += [o for o in ranked if o.kind == "cpu"]
         executed, attempts, events, overhead, reason = self._dispatch(
             attrs.region, env, order
         )
+
+        # Watchdog: the executed accelerator's own (corrected) prediction
+        # bounds how long the runtime lets it run; an overrun is killed at
+        # the deadline and the region reruns on the host.
+        fallback = reason if executed != chosen else None
+        executed_outcome = self.outcome_by_name(outcomes, executed)
+        if (
+            self.watchdog is not None
+            and executed_outcome.kind == "gpu"
+        ):
+            predicted = executed_outcome.predicted_seconds
+            if self.sentinel is not None:
+                predicted *= self.sentinel.correction(executed, region_name)
+            deadline = self.watchdog.deadline(predicted)
+            if executed_outcome.measured_seconds > deadline:
+                err = DeadlineExceeded(
+                    f"device time {executed_outcome.measured_seconds:.3e}s "
+                    f"exceeded watchdog deadline {deadline:.3e}s",
+                    device_name=executed,
+                    launch_index=self._accel_launches[executed] - 1,
+                    attempt=max(attempts, 1),
+                    deadline_seconds=deadline,
+                    observed_seconds=executed_outcome.measured_seconds,
+                )
+                self.health[executed].record_failure(err)
+                events = events + (
+                    FaultEvent(
+                        device_name=err.device_name,
+                        launch_index=err.launch_index,
+                        attempt=err.attempt,
+                        error_type=type(err).__name__,
+                        message=str(err),
+                    ),
+                )
+                overhead += deadline
+                self.clock.advance(deadline)
+                executed = self._host.name
+                fallback = FALLBACK_DEADLINE
+
         return MultiLaunchRecord(
             region_name=region_name,
             outcomes=tuple(outcomes),
@@ -278,9 +370,10 @@ class MultiDeviceRuntime:
             executed_device=executed,
             attempts=attempts,
             fault_events=events,
-            fallback=reason if executed != chosen else None,
+            fallback=fallback,
             overhead_seconds=overhead,
             lint=lint_decision,
+            drift=self._observe_outcomes(region_name, outcomes),
         )
 
     @staticmethod

@@ -92,3 +92,32 @@ class TestCommands:
         payload = json.loads(capsys.readouterr().out)
         assert payload[0]["region"] == "gemm"
         assert payload[0]["errors"] == 0
+
+
+class TestDriftCommand:
+    def test_drift_defaults(self):
+        args = build_parser().parse_args(["drift"])
+        assert args.platform == "p9-v100"
+        assert args.launches == 96
+        assert args.start == 24
+        assert args.format == "text"
+
+    def test_drift_bad_format_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["drift", "--format", "xml"])
+
+    def test_drift_runs_and_reports_json(self, capsys):
+        assert main(["drift", "--launches", "60", "--start", "18",
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["passed"] is True
+        names = [s["scenario"] for s in payload["scenarios"]]
+        assert names == [
+            "zero-skew",
+            "gpu-optimist",
+            "cpu-optimist",
+            "gpu-pessimist",
+            "transient",
+        ]
+        control = payload["scenarios"][0]
+        assert control["bit_identical"] is True

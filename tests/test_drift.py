@@ -1,0 +1,448 @@
+"""Tests for the drift subsystem (repro.drift).
+
+Covers the EWMA/CUSUM math against hand-computed sequences, the
+three-state stream verdicts (including streak-based recovery and the
+single-fire on_drift hook), watchdog deadlines end to end through the
+runtime, the self-healing ladder (corrected / history / hysteresis), the
+bit-identity contract of sentinel-on zero-skew runs, and the experiment
+grid's detection-latency and recovery-accuracy promises.
+"""
+
+import math
+from types import SimpleNamespace
+
+import pytest
+
+from repro.drift import (
+    Cusum,
+    DriftSentinel,
+    DriftState,
+    Ewma,
+    SelfHealingSelector,
+    SentinelConfig,
+    StreamStats,
+    Watchdog,
+    attach_refit_hook,
+)
+from repro.experiments import SkewScenario, run_drift
+from repro.faults import DeadlineExceeded
+from repro.machines import (
+    NVLINK2,
+    PCIE3_X16,
+    PLATFORM_P9_V100,
+    POWER9,
+    AcceleratorSlot,
+    Platform,
+    TESLA_K80,
+    TESLA_V100,
+)
+from repro.polybench import benchmark_by_name
+from repro.runtime import (
+    ModelGuided,
+    MultiDeviceRuntime,
+    OffloadingRuntime,
+)
+
+from .kernels import build_gemm
+
+ENV = {"ni": 512, "nj": 512, "nk": 512}
+ENV_BIG = {"ni": 9600, "nj": 9600, "nk": 9600}
+
+
+def _prediction(cpu_s: float, gpu_s: float):
+    return SimpleNamespace(
+        cpu=SimpleNamespace(seconds=cpu_s),
+        gpu=SimpleNamespace(seconds=gpu_s),
+        winner="gpu" if gpu_s < cpu_s else "cpu",
+    )
+
+
+class TestEwma:
+    def test_first_sample_seeds_value(self):
+        e = Ewma(alpha=0.5)
+        assert e.update(2.0) == 2.0
+        assert e.update(4.0) == 3.0  # 2 + 0.5 * (4 - 2)
+        assert e.update(3.0) == 3.0
+        assert e.count == 3
+
+
+class TestCusum:
+    def test_hand_computed_positive_ramp(self):
+        c = Cusum(k=0.5, h=2.0)
+        for expected in (0.5, 1.0, 1.5, 2.0):
+            c.update(1.0)
+            assert c.pos == pytest.approx(expected)
+        assert not c.tripped  # strictly-greater threshold
+        assert c.update(1.0)  # 2.5 > 2.0
+        assert c.statistic == pytest.approx(2.5)
+
+    def test_negative_side_and_slack_decay(self):
+        c = Cusum(k=0.5, h=2.0)
+        c.update(-3.0)
+        assert c.neg == pytest.approx(2.5) and c.pos == 0.0
+        assert c.tripped
+        c.update(0.0)  # slack sheds k per observation
+        assert c.neg == pytest.approx(2.0)
+        c.reset()
+        assert c.statistic == 0.0 and not c.tripped
+
+
+class TestSentinelConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"ewma_alpha": 0.0},
+            {"ewma_alpha": 1.5},
+            {"warmup": 0},
+            {"cusum_k": -0.1},
+            {"cusum_h": 0.0},
+            {"suspect_fraction": 1.0},
+            {"recover_band": 0.0},
+            {"recover_after": 0},
+            {"correction_clamp": 0.5},
+            {"measured_alpha": 0.0},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SentinelConfig(**kwargs)
+
+
+class TestStreamStats:
+    def _warm(self, stream: StreamStats, ratio: float = 1.0, n: int = 3):
+        for _ in range(n):
+            stream.observe(1.0, ratio)
+
+    def test_static_bias_absorbed_by_baseline(self):
+        # a constant 2x model error is the *accepted* static error: the
+        # warmup baseline captures it and the stream never leaves CALIBRATED
+        s = StreamStats("gpu", "r", SentinelConfig())
+        for _ in range(50):
+            assert s.observe(1.0, 2.0) is DriftState.CALIBRATED
+        assert s.correction() == 1.0
+        assert s.baseline == pytest.approx(math.log(2.0))
+
+    def test_level_shift_reaches_drifted(self):
+        s = StreamStats("gpu", "r", SentinelConfig())
+        self._warm(s)
+        # a 6x shift is log(6) ~ 1.79 > h = 0.6: one observation trips
+        assert s.observe(1.0, 6.0) is DriftState.DRIFTED
+        assert s.drift_count == 1
+        # the correction undoes the shift relative to the baseline
+        assert s.correction() == pytest.approx(6.0)
+
+    def test_suspect_between_noise_floor_and_threshold(self):
+        s = StreamStats("gpu", "r", SentinelConfig())
+        self._warm(s)
+        # residual 0.4 - k 0.05 = 0.35: above h/2 = 0.3, below h = 0.6
+        assert s.observe(1.0, math.exp(0.4)) is DriftState.SUSPECT
+        assert s.correction() == 1.0  # SUSPECT does not correct yet
+
+    def test_streak_based_recovery_resets_cusum(self):
+        cfg = SentinelConfig()
+        s = StreamStats("gpu", "r", cfg)
+        self._warm(s)
+        s.observe(1.0, 6.0)
+        assert s.state is DriftState.DRIFTED
+        # recover_after consecutive in-band residuals re-promote the stream
+        for _ in range(cfg.recover_after - 1):
+            assert s.observe(1.0, 1.0) is DriftState.DRIFTED
+        assert s.observe(1.0, 1.0) is DriftState.CALIBRATED
+        assert s.cusum.statistic == 0.0
+        assert s.correction() == 1.0
+
+    def test_recovery_streak_broken_by_outlier(self):
+        cfg = SentinelConfig()
+        s = StreamStats("gpu", "r", cfg)
+        self._warm(s)
+        s.observe(1.0, 6.0)
+        for _ in range(cfg.recover_after - 1):
+            s.observe(1.0, 1.0)
+        s.observe(1.0, 6.0)  # outlier restarts the streak
+        for _ in range(cfg.recover_after - 1):
+            assert s.observe(1.0, 1.0) is DriftState.DRIFTED
+
+    def test_invalid_pairs_ignored(self):
+        s = StreamStats("gpu", "r", SentinelConfig())
+        for predicted, observed in [
+            (math.nan, 1.0),
+            (1.0, math.inf),
+            (0.0, 1.0),
+            (1.0, -1.0),
+        ]:
+            assert s.observe(predicted, observed) is DriftState.CALIBRATED
+        assert s.observations == 0
+
+    def test_correction_clamped(self):
+        cfg = SentinelConfig()
+        s = StreamStats("gpu", "r", cfg)
+        self._warm(s)
+        s.observe(1.0, 1e6)
+        assert s.state is DriftState.DRIFTED
+        assert s.correction() == cfg.correction_clamp
+
+
+class TestDriftSentinel:
+    def test_on_drift_fires_once_per_edge(self):
+        fired = []
+        sentinel = DriftSentinel(on_drift=fired.append)
+        for _ in range(3):
+            sentinel.observe("gpu", "r", 1.0, 1.0)
+        sentinel.observe("gpu", "r", 1.0, 6.0)
+        sentinel.observe("gpu", "r", 1.0, 6.0)  # still DRIFTED: no re-fire
+        assert len(fired) == 1
+        assert fired[0].device == "gpu" and fired[0].region == "r"
+        assert sentinel.any_drifted()
+        assert [s.region for s in sentinel.drifted_streams()] == ["r"]
+
+    def test_unknown_stream_defaults(self):
+        sentinel = DriftSentinel()
+        assert sentinel.state("gpu", "nope") is DriftState.CALIBRATED
+        assert sentinel.correction("gpu", "nope") == 1.0
+        assert sentinel.measured("gpu", "nope") is None
+        assert sentinel.instability("gpu", "nope") == 0.0
+
+    def test_fitted_scales_geometric_mean(self):
+        sentinel = DriftSentinel()
+        sentinel.observe("gpu", "a", 1.0, 2.0)
+        sentinel.observe("gpu", "b", 1.0, 8.0)
+        assert sentinel.fitted_scales()["gpu"] == pytest.approx(4.0)
+
+
+class TestWatchdog:
+    def test_deadline_formula(self):
+        wd = Watchdog(factor=4.0, slack_s=0.5)
+        assert wd.deadline(2.0) == pytest.approx(8.5)
+        assert wd.exceeded(2.0, 8.6)
+        assert not wd.exceeded(2.0, 8.5)  # at the deadline is not over it
+
+    def test_unusable_prediction_disables_deadline(self):
+        wd = Watchdog()
+        assert wd.deadline(math.nan) == math.inf
+        assert wd.deadline(0.0) == math.inf
+        assert not wd.exceeded(math.nan, 1e9)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"factor": 0.5},
+            {"factor": math.inf},
+            {"slack_s": -1.0},
+            {"slack_s": math.nan},
+        ],
+    )
+    def test_invalid_watchdog_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            Watchdog(**kwargs)
+
+
+class TestSelfHealing:
+    def _drifted_gpu_sentinel(self, observed: float = 3.0) -> DriftSentinel:
+        sentinel = DriftSentinel()
+        for _ in range(3):
+            sentinel.observe("gpu", "r", 1.0, 1.0)
+        sentinel.observe("gpu", "r", 1.0, observed)
+        assert sentinel.state("gpu", "r") is DriftState.DRIFTED
+        return sentinel
+
+    def test_none_while_fully_calibrated(self):
+        healer = SelfHealingSelector(DriftSentinel())
+        assert healer.decide("r", _prediction(2.0, 1.0)) is None
+
+    def test_corrected_mode_overrides_model(self):
+        healer = SelfHealingSelector(self._drifted_gpu_sentinel())
+        # model says gpu (1.0 < 2.0); corrected gpu cost is 3.0 -> cpu
+        decision = healer.decide("r", _prediction(2.0, 1.0))
+        assert decision.mode == "corrected"
+        assert decision.correction_gpu == pytest.approx(3.0)
+        assert decision.model_target == "gpu" and decision.target == "cpu"
+        assert decision.overrode
+
+    def test_hysteresis_holds_inside_dead_band(self):
+        healer = SelfHealingSelector(self._drifted_gpu_sentinel())
+        first = healer.decide("r", _prediction(3.05, 1.0))
+        assert first.target == "gpu" and not first.held  # 3.0 < 3.05
+        # corrected gpu (3.0) is now nominally slower than cpu (2.97),
+        # but within the 5% dead-band: the previous pick is held
+        held = healer.decide("r", _prediction(2.97, 1.0))
+        assert held.target == "gpu" and held.held
+        # far outside the band the decision flips decisively
+        flipped = healer.decide("r", _prediction(2.0, 1.0))
+        assert flipped.target == "cpu" and not flipped.held
+
+    def test_history_mode_on_unstable_stream(self):
+        sentinel = self._drifted_gpu_sentinel(observed=8.0)
+        # whipsawing observations: no scalar correction fits
+        sentinel.observe("gpu", "r", 1.0, 0.125)
+        assert sentinel.instability("gpu", "r") > 0.35
+        sentinel.observe("cpu", "r", 5.0, 5.0)  # cpu measured history
+        healer = SelfHealingSelector(sentinel)
+        decision = healer.decide("r", _prediction(5.0, 1.0))
+        assert decision.mode == "history"
+        # measured gpu ewma (~2.3s) beats measured cpu (5.0s)
+        assert decision.target == "gpu"
+
+    def test_suspect_only_keeps_model_pick(self):
+        sentinel = DriftSentinel()
+        for _ in range(3):
+            sentinel.observe("gpu", "r", 1.0, 1.0)
+        sentinel.observe("gpu", "r", 1.0, math.exp(0.4))
+        assert sentinel.state("gpu", "r") is DriftState.SUSPECT
+        decision = SelfHealingSelector(sentinel).decide(
+            "r", _prediction(2.0, 1.0)
+        )
+        assert decision.mode == "model"
+        assert decision.target == decision.model_target == "gpu"
+
+
+class TestRefitHook:
+    def test_drift_edge_refits_policy_calibration(self):
+        policy = ModelGuided()
+        sentinel = DriftSentinel()
+        attach_refit_hook(sentinel, policy, PLATFORM_P9_V100)
+        for _ in range(3):
+            sentinel.observe("gpu", "r", 1.0, 1.0)
+        sentinel.observe("gpu", "r", 1.0, 6.0)
+        key = (PLATFORM_P9_V100.name, None)
+        assert key in policy._calibrations
+        from repro.calibrate import fit_model_calibration
+
+        base = fit_model_calibration(PLATFORM_P9_V100)
+        refit = policy._calibrations[key]
+        # the gpu side is scaled by the observed/predicted ratio (EWMA
+        # after the 6x shift), the untouched cpu side is preserved
+        assert refit.gpu_time_scale == pytest.approx(
+            base.gpu_time_scale * 6.0
+        )
+        assert refit.cpu_time_scale == base.cpu_time_scale
+
+
+class TestRuntimeIntegration:
+    def test_zero_skew_records_bit_identical(self):
+        plain = OffloadingRuntime(PLATFORM_P9_V100)
+        guarded = OffloadingRuntime(
+            PLATFORM_P9_V100, sentinel=DriftSentinel(), watchdog=Watchdog()
+        )
+        for rt in (plain, guarded):
+            rt.compile_region(build_gemm())
+        for _ in range(6):  # spans warmup and post-warmup launches
+            a = plain.launch("gemm", ENV)
+            b = guarded.launch("gemm", ENV)
+            assert a == b
+            assert b.drift is None
+        assert not guarded.sentinel.any_drifted()
+
+    def test_watchdog_overrun_reroutes_and_feeds_health(self):
+        spec = benchmark_by_name("atax")
+        rt = OffloadingRuntime(
+            PLATFORM_P9_V100,
+            sentinel=DriftSentinel(),
+            watchdog=Watchdog(factor=1.0, slack_s=0.0),
+        )
+        for region in spec.build():
+            rt.compile_region(region)
+        rec = rt.launch("atax_k2", spec.env("test"))
+        assert rec.target == "cpu" and rec.requested_target == "gpu"
+        assert rec.fallback == "deadline-exceeded"
+        assert [e.error_type for e in rec.fault_events] == ["DeadlineExceeded"]
+        # the deadline's worth of device time was burned before the kill
+        assert rec.overhead_seconds > 0.0
+        assert rt.health.fault_counts.get("DeadlineExceeded") == 1
+        assert rt.clock.now == pytest.approx(rec.overhead_seconds)
+
+    def test_prediction_scaled_identity_and_copy(self):
+        rt = OffloadingRuntime(PLATFORM_P9_V100)
+        rt.compile_region(build_gemm())
+        pred = rt.launch("gemm", ENV).prediction
+        # the no-op scale returns the same object (identity comparability)
+        assert pred.scaled() is pred
+        doubled = pred.scaled(gpu_scale=2.0)
+        assert doubled.gpu.seconds == pytest.approx(pred.gpu.seconds * 2)
+        assert doubled.cpu.seconds == pred.cpu.seconds
+        assert doubled is not pred
+
+    def test_deadline_exceeded_error_shape(self):
+        err = DeadlineExceeded(
+            "too slow",
+            device_name="gpu0",
+            launch_index=3,
+            attempt=1,
+            deadline_seconds=1.0,
+            observed_seconds=2.0,
+        )
+        assert not err.retryable
+        assert err.deadline_seconds == 1.0 and err.observed_seconds == 2.0
+
+
+DUAL = Platform(
+    "P9 + V100/NVLink + K80/PCIe",
+    POWER9,
+    (
+        AcceleratorSlot(TESLA_V100, NVLINK2),
+        AcceleratorSlot(TESLA_K80, PCIE3_X16),
+    ),
+)
+
+
+class TestMultiDeviceDrift:
+    def test_zero_skew_records_bit_identical(self):
+        plain = MultiDeviceRuntime(DUAL)
+        guarded = MultiDeviceRuntime(
+            DUAL, sentinel=DriftSentinel(), watchdog=Watchdog()
+        )
+        for rt in (plain, guarded):
+            rt.compile_region(build_gemm())
+        for _ in range(5):
+            a = plain.launch("gemm", ENV)
+            b = guarded.launch("gemm", ENV)
+            assert a == b
+            assert b.drift is None
+
+    def test_drifted_device_penalized_in_selection(self):
+        rt = MultiDeviceRuntime(DUAL, sentinel=DriftSentinel())
+        rt.compile_region(build_gemm())
+        baseline = rt.launch("gemm", ENV_BIG)
+        v100 = next(o.device_name for o in baseline.outcomes if "V100" in o.device_name)
+        assert baseline.chosen == v100  # the fast card wins when healthy
+        # poison the V100 stream: observed seconds 64x its predictions
+        for _ in range(3):
+            rt.sentinel.observe(v100, "gemm", 1.0, 1.0)
+        rt.sentinel.observe(v100, "gemm", 1.0, 100.0)
+        assert rt.sentinel.state(v100, "gemm") is DriftState.DRIFTED
+        rec = rt.launch("gemm", ENV_BIG)
+        assert rec.chosen != v100  # the 64x-clamped correction reroutes
+        assert rec.drift is not None
+        assert (v100, "drifted") in rec.drift
+
+
+class TestDriftExperiment:
+    def test_detection_and_recovery_promises(self):
+        result = run_drift(
+            launches=42,
+            start=18,
+            scenarios=(
+                SkewScenario("zero-skew"),
+                SkewScenario("gpu-optimist", gpu_scale=1 / 6, start=18),
+            ),
+        )
+        control = result.get("zero-skew")
+        assert control.bit_identical is True
+        assert control.detection_launch is None
+
+        skewed = result.get("gpu-optimist")
+        assert skewed.bit_identical is None
+        assert skewed.detection_latency is not None
+        assert skewed.detection_latency <= 8
+        assert skewed.skewed_accuracy < skewed.baseline_accuracy
+        assert skewed.recovery_gap <= 0.05
+        assert result.passed
+
+    def test_skew_inside_warmup_rejected(self):
+        with pytest.raises(ValueError, match="warmup"):
+            run_drift(launches=42, start=6)
+
+    def test_scenario_validation(self):
+        with pytest.raises(ValueError):
+            SkewScenario("bad", gpu_scale=0.0)
+        with pytest.raises(ValueError):
+            SkewScenario("bad", start=10, stop=10)

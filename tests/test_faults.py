@@ -329,3 +329,112 @@ class TestMultiDeviceResilience:
         rec = rt.launch("gemm", ENV_BIG)
         assert rec.executed_device == rt._host.name
         assert rec.fell_back
+
+
+class TestRetryPolicyProperties:
+    """Property-style checks for the hardened backoff arithmetic."""
+
+    def test_defaults_reproduce_historical_delays(self):
+        retry = RetryPolicy()
+        assert retry.delay(1) == 1e-3
+        assert retry.delay(2) == 2e-3
+        assert retry.total_backoff(2) == 3e-3
+
+    def test_jitter_free_delays_monotone_and_clamped(self):
+        retry = RetryPolicy(max_attempts=64, max_delay_s=0.05)
+        delays = [retry.delay(k) for k in range(1, 65)]
+        assert all(a <= b for a, b in zip(delays, delays[1:]))
+        assert max(delays) == 0.05  # clamp reached and never exceeded
+
+    def test_jitter_bounded_and_applied_after_clamp(self):
+        retry = RetryPolicy(max_delay_s=0.05, jitter=0.5, seed=7)
+        for attempt in range(1, 40):
+            delay = retry.delay(attempt)
+            clamped = min(1e-3 * 2.0 ** (attempt - 1), 0.05)
+            assert clamped <= delay <= clamped * 1.5
+
+    def test_jitter_deterministic_for_fixed_seed(self):
+        a = RetryPolicy(jitter=0.3, seed=11)
+        b = RetryPolicy(jitter=0.3, seed=11)
+        other = RetryPolicy(jitter=0.3, seed=12)
+        sequence = [a.delay(k) for k in range(1, 20)]
+        assert sequence == [b.delay(k) for k in range(1, 20)]
+        assert sequence != [other.delay(k) for k in range(1, 20)]
+
+    def test_huge_attempt_counts_do_not_overflow(self):
+        # 2**1e6 overflows a float; both paths must saturate, not raise
+        unclamped = RetryPolicy()
+        assert unclamped.delay(10_000) == math.inf
+        assert unclamped.total_backoff(10**6) == math.inf
+        clamped = RetryPolicy(max_delay_s=0.05)
+        assert clamped.delay(10_000) == 0.05
+        total = clamped.total_backoff(10**6)
+        assert math.isfinite(total)
+        # the closed-form tail matches attempt-count * clamp asymptotics
+        assert total == pytest.approx(10**6 * 0.05, rel=1e-3)
+
+    def test_constant_backoff_closed_form(self):
+        retry = RetryPolicy(backoff_factor=1.0, backoff_base_s=2e-3)
+        assert retry.total_backoff(10**9) == pytest.approx(10**9 * 2e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_delay_s=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy().delay(0)
+
+
+class TestHealthDecay:
+    """Simulated-time decay of the DeviceHealth penalty."""
+
+    def _err(self):
+        return TransientDeviceError(
+            "boom", device_name="gpu0", launch_index=0, attempt=1
+        )
+
+    def test_no_clock_keeps_historical_behaviour(self):
+        from repro.faults import DeviceHealth
+
+        health = DeviceHealth("gpu0")
+        health.record_failure(self._err())
+        before = health.failure_ewma
+        assert health.penalty() == 1.0 + 4.0 * before
+        assert health.failure_ewma == before  # penalty() must not decay
+
+    def test_halflife_halves_failure_weight(self):
+        from repro.faults import DeviceHealth, SimulatedClock
+
+        clock = SimulatedClock()
+        health = DeviceHealth(
+            "gpu0", clock=clock, decay_halflife_s=10.0
+        )
+        health.record_failure(self._err())
+        ewma = health.failure_ewma
+        clock.advance(10.0)  # exactly one half-life
+        assert health.penalty() == pytest.approx(1.0 + 4.0 * ewma / 2)
+        clock.advance(20.0)  # two more half-lives
+        assert health.penalty() == pytest.approx(1.0 + 4.0 * ewma / 8)
+
+    def test_backwards_clock_raises(self):
+        from repro.faults import DeviceHealth, SimulatedClock
+
+        clock = SimulatedClock(start=5.0)
+        health = DeviceHealth("gpu0", clock=clock, decay_halflife_s=1.0)
+        health.record_failure(self._err())
+        clock.now = 1.0  # simulated clock tampered with
+        with pytest.raises(ValueError, match="monotonic"):
+            health.penalty()
+
+    def test_invalid_halflife_rejected(self):
+        from repro.faults import DeviceHealth
+
+        with pytest.raises(ValueError):
+            DeviceHealth("gpu0", decay_halflife_s=0.0)
+
+    def test_clock_rejects_negative_advance(self):
+        from repro.faults import SimulatedClock
+
+        with pytest.raises(ValueError):
+            SimulatedClock().advance(-1.0)
