@@ -15,6 +15,7 @@ from typing import Mapping
 
 from ..ir import Region, validate_region
 from ..ipda import BoundIPDA, IPDAResult, analyze_region
+from ..obs.tracer import current_tracer
 from ..symbolic import Expr
 from .features import InstructionLoadout, extract_loadout
 from .tripcount import PAPER_LOOP_TRIPS, nest_trips, paper_trip_abstraction
@@ -92,14 +93,21 @@ class ProgramAttributeDatabase:
         """Run all static analyses on a region and store the record."""
         if region.name in self._entries:
             raise KeyError(f"region {region.name!r} already compiled")
-        validate_region(region)
-        attrs = RegionAttributes(
-            region=region,
-            ipda=analyze_region(region),
-            static_loadout=extract_loadout(region, paper_trip_abstraction),
-            parallel_iterations=region.parallel_iterations(),
-            required_symbols=region.free_symbols(),
-        )
+        tracer = current_tracer()
+        with tracer.span("compile", region=region.name):
+            validate_region(region)
+            with tracer.span("analyse", region=region.name) as sp:
+                ipda = analyze_region(region)
+                static_loadout = extract_loadout(region, paper_trip_abstraction)
+                if tracer.enabled:
+                    sp.set("accesses", len(ipda.accesses))
+            attrs = RegionAttributes(
+                region=region,
+                ipda=ipda,
+                static_loadout=static_loadout,
+                parallel_iterations=region.parallel_iterations(),
+                required_symbols=region.free_symbols(),
+            )
         self._entries[region.name] = attrs
         return attrs
 

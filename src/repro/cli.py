@@ -9,6 +9,7 @@ Installed as ``repro-paper`` (see pyproject.toml), or run as
     repro-paper lint                   # lint every bundled kernel
     repro-paper lint syrk --format json
     repro-paper drift --launches 96    # drift sentinel scenario grid
+    repro-paper trace --format json -o trace.json   # Chrome trace of a sweep
     repro-paper probe tlb|gpu|epcc
 """
 
@@ -158,6 +159,28 @@ def _cmd_drift(args) -> int:
     return 0 if result.passed else 1
 
 
+def _cmd_trace(args) -> int:
+    from .experiments import run_trace
+
+    result = run_trace(
+        platform=args.platform,
+        mode=args.mode,
+        benchmarks=args.benchmarks or None,
+        num_threads=args.threads,
+    )
+    out = result.chrome_json() if args.format == "json" else result.render()
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(out + "\n")
+        print(
+            f"wrote {args.format} trace ({len(result.tracer.spans)} spans, "
+            f"{len(result.records)} launches) to {args.output}"
+        )
+    else:
+        print(out)
+    return 0
+
+
 def _cmd_probe(args) -> int:
     from . import calibrate as cal
 
@@ -241,6 +264,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_format_argument(drift)
     drift.set_defaults(func=_cmd_drift)
+
+    trace = sub.add_parser(
+        "trace",
+        help=(
+            "run an instrumented suite sweep and export the trace "
+            "(json = Chrome trace-event format, open in Perfetto)"
+        ),
+    )
+    trace.add_argument(
+        "benchmarks",
+        nargs="*",
+        help="benchmark names to trace (default: the whole suite)",
+    )
+    trace.add_argument("--platform", default="p9-v100")
+    trace.add_argument("--mode", default="test", choices=("test", "benchmark"))
+    trace.add_argument("--threads", type=int, default=None)
+    trace.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="write the rendered trace to a file instead of stdout",
+    )
+    add_format_argument(trace)
+    trace.set_defaults(func=_cmd_trace)
 
     probe = sub.add_parser("probe", help="run a calibration microbenchmark")
     probe.add_argument("what", choices=("tlb", "gpu", "epcc"))

@@ -27,6 +27,7 @@ from .drift import (
     run_drift,
 )
 from .faults import FaultScore, FaultsResult, run_faults
+from .trace import TraceResult, run_trace
 from .summary import Claim, SummaryResult, run_summary
 from .crossgen import CrossGenResult, GENERATIONS, run_crossgen
 
@@ -47,6 +48,8 @@ __all__ = [
     "FaultScore",
     "FaultsResult",
     "run_faults",
+    "TraceResult",
+    "run_trace",
     "DriftResult",
     "DriftScore",
     "SkewScenario",

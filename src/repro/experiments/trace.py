@@ -1,0 +1,87 @@
+"""Instrumented suite sweep for ``repro-paper trace``.
+
+Runs the Polybench suite through an :class:`OffloadingRuntime` with a
+live :class:`~repro.obs.Tracer` and :class:`~repro.obs.MetricsRegistry`
+attached, then exports the recorded pipeline — ``compile`` → ``analyse``
+on the compile side, ``launch`` → ``predict`` → ``dispatch`` (with the
+inner ``sim.*``/``ipda``/``mca`` stages) per launch — as Chrome
+``trace_event`` JSON or a terminal summary.  Everything is simulated and
+seeded, so two invocations produce byte-identical output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machines import Platform
+from ..obs import MetricsRegistry, Tracer, chrome_trace_json, render_trace_text
+from ..polybench import SUITE, benchmark_by_name
+from ..runtime import LaunchRecord, ModelGuided, OffloadingRuntime
+from .common import _resolve_platform
+
+__all__ = ["TraceResult", "run_trace"]
+
+
+@dataclass
+class TraceResult:
+    """One instrumented sweep: records plus the trace/metrics behind them."""
+
+    platform_name: str
+    mode: str
+    region_names: tuple[str, ...]
+    records: tuple[LaunchRecord, ...]
+    tracer: Tracer
+    metrics: MetricsRegistry
+
+    def chrome_json(self) -> str:
+        """The sweep as Chrome trace-event JSON (open in Perfetto)."""
+        return chrome_trace_json(self.tracer, self.metrics)
+
+    def render(self) -> str:
+        """Span tree + metrics tables for the terminal."""
+        header = (
+            f"instrumented sweep: {len(self.records)} launches on "
+            f"{self.platform_name} ({self.mode} datasets)"
+        )
+        return header + "\n" + render_trace_text(self.tracer, self.metrics)
+
+
+def run_trace(
+    platform: "Platform | str" = "p9-v100",
+    mode: str = "test",
+    *,
+    benchmarks: list[str] | None = None,
+    num_threads: int | None = None,
+) -> TraceResult:
+    """Compile + launch every (selected) suite region with observability on."""
+    plat = _resolve_platform(platform)
+    specs = (
+        [benchmark_by_name(b) for b in benchmarks]
+        if benchmarks
+        else list(SUITE)
+    )
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    runtime = OffloadingRuntime(
+        plat,
+        policy=ModelGuided(),
+        num_threads=num_threads,
+        tracer=tracer,
+        metrics=metrics,
+    )
+    records: list[LaunchRecord] = []
+    names: list[str] = []
+    for spec in specs:
+        env = spec.env(mode)
+        for region in spec.build():
+            runtime.compile_region(region)
+            records.append(runtime.launch(region.name, env))
+            names.append(region.name)
+    return TraceResult(
+        platform_name=plat.name,
+        mode=mode,
+        region_names=tuple(names),
+        records=tuple(records),
+        tracer=tracer,
+        metrics=metrics,
+    )

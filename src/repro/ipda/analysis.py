@@ -41,6 +41,7 @@ from typing import Mapping
 
 from ..ir import Region
 from ..ir.visit import MemoryAccess, memory_accesses
+from ..obs.tracer import current_tracer
 from ..symbolic import Expr, NonAffineError, decompose_affine
 from .coalescing import CoalescingClass, classify_stride, transactions_per_warp_access
 
@@ -201,6 +202,16 @@ def analyze_region(region: Region) -> IPDAResult:
     Returns symbolic strides; unknowns stay as ``[sym]`` placeholders, to be
     bound by :meth:`IPDAResult.bind` at kernel-launch time.
     """
+    tracer = current_tracer()
+    if not tracer.enabled:
+        return _analyze_region(region)
+    with tracer.span("ipda.analyze", region=region.name) as sp:
+        result = _analyze_region(region)
+        sp.set("accesses", len(result.accesses))
+        return result
+
+
+def _analyze_region(region: Region) -> IPDAResult:
     band = region.parallel_band()
     band_vars = tuple(lp.var.name for lp in band)
     innermost_band = band_vars[-1]

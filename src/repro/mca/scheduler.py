@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
 from ..machines import CPUDescriptor
+from ..obs.tracer import current_tracer
 from .ops import UNPIPELINED, MachineOp
 
 __all__ = ["ScheduleResult", "schedule_ops", "steady_state_cycles"]
@@ -181,6 +182,23 @@ def steady_state_cycles(
     """
     if not body:
         return 0.0
+    tracer = current_tracer()
+    if not tracer.enabled:
+        return _steady_state(body, cpu, carried_regs, warmup, measure, latency_of)
+    with tracer.span("mca.steady_state", ops=len(body), cpu=cpu.name) as sp:
+        cycles = _steady_state(body, cpu, carried_regs, warmup, measure, latency_of)
+        sp.set("cycles_per_iter", cycles)
+        return cycles
+
+
+def _steady_state(
+    body: Sequence[MachineOp],
+    cpu: CPUDescriptor,
+    carried_regs: frozenset[int],
+    warmup: int,
+    measure: int,
+    latency_of: Callable[[MachineOp], float] | None,
+) -> float:
     short = schedule_ops(
         unroll(body, warmup, carried_regs), cpu, latency_of=latency_of
     ).total_cycles

@@ -1,0 +1,44 @@
+"""Observability: tracing spans, metrics, and trace exporters.
+
+The runtimes accept a :class:`Tracer` and a :class:`MetricsRegistry`
+(both off by default — the :data:`NULL_TRACER` fast path records nothing
+and allocates nothing) and instrument every stage of the Figure 2
+pipeline; :func:`chrome_trace_json` turns a recorded run into a file
+``chrome://tracing`` / Perfetto can open.  See docs/OBSERVABILITY.md.
+"""
+
+from .tracer import (
+    NULL_TRACER,
+    InstantRecord,
+    NullTracer,
+    Span,
+    SpanRecord,
+    Tracer,
+    current_tracer,
+)
+from .metrics import (
+    DEFAULT_LOG_ERROR_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .export import chrome_trace_events, chrome_trace_json, render_trace_text
+
+__all__ = [
+    "NULL_TRACER",
+    "InstantRecord",
+    "NullTracer",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "current_tracer",
+    "DEFAULT_LOG_ERROR_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "chrome_trace_events",
+    "chrome_trace_json",
+    "render_trace_text",
+]

@@ -1,0 +1,150 @@
+"""Counters, gauges and fixed-bucket histograms for the runtimes.
+
+A :class:`MetricsRegistry` is fed by the same instrumentation points as
+the tracer (launches by device, retries, breaker trips, drift verdict
+transitions, lint findings by severity, predicted-vs-observed error) and
+renders to a deterministic :meth:`~MetricsRegistry.snapshot` dict — keys
+are ``name{label=value,...}`` strings with sorted labels, so two
+identical runs serialize byte-identically.
+
+Everything is plain Python; there is no background aggregation thread
+and no dependency.  Instruments are get-or-create: asking for the same
+``(name, labels)`` twice returns the same object.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LOG_ERROR_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Upper bounds (|log10(predicted/observed)|) for the prediction-error
+#: histogram: 0.01 ≈ 2.3% off, 0.3 ≈ 2x off, 1.0 = an order of magnitude.
+DEFAULT_LOG_ERROR_BUCKETS = (0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 1.0)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative-style bucket counts.
+
+    ``buckets`` are finite upper bounds; an implicit ``+inf`` bucket
+    catches the overflow.  Counts are per-bucket (not cumulative) so the
+    snapshot reads directly as a distribution.
+    """
+
+    __slots__ = ("buckets", "counts", "count", "sum")
+
+    def __init__(self, buckets=DEFAULT_LOG_ERROR_BUCKETS):
+        ordered = tuple(sorted(float(b) for b in buckets))
+        if not ordered:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(not math.isfinite(b) for b in ordered):
+            raise ValueError("bucket bounds must be finite (+inf is implicit)")
+        self.buckets = ordered
+        self.counts = [0] * (len(ordered) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+
+def _key(name: str, labels: dict) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named, labelled instruments."""
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str, **labels) -> Counter:
+        key = _key(name, labels)
+        inst = self._counters.get(key)
+        if inst is None:
+            inst = self._counters[key] = Counter()
+        return inst
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = _key(name, labels)
+        inst = self._gauges.get(key)
+        if inst is None:
+            inst = self._gauges[key] = Gauge()
+        return inst
+
+    def histogram(self, name: str, buckets=None, **labels) -> Histogram:
+        key = _key(name, labels)
+        inst = self._histograms.get(key)
+        if inst is None:
+            inst = self._histograms[key] = Histogram(
+                DEFAULT_LOG_ERROR_BUCKETS if buckets is None else buckets
+            )
+        return inst
+
+    def snapshot(self) -> dict:
+        """Deterministic plain-dict dump (sorted keys, JSON-safe values)."""
+        hists = {}
+        for key in sorted(self._histograms):
+            h = self._histograms[key]
+            bucket_counts = {
+                f"le_{bound:g}": h.counts[i] for i, bound in enumerate(h.buckets)
+            }
+            bucket_counts["le_inf"] = h.counts[-1]
+            hists[key] = {
+                "count": h.count,
+                "sum": h.sum,
+                "buckets": bucket_counts,
+            }
+        return {
+            "counters": {
+                k: self._counters[k].value for k in sorted(self._counters)
+            },
+            "gauges": {k: self._gauges[k].value for k in sorted(self._gauges)},
+            "histograms": hists,
+        }
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)

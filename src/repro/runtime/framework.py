@@ -31,6 +31,14 @@ machinery), and the :class:`~repro.drift.SelfHealingSelector` degrades
 the model-guided decision gracefully when a stream is DRIFTED.  While
 every stream is CALIBRATED the record carries no drift provenance
 (``drift=None``) and sentinel-on runs stay bit-identical too.
+
+Dispatch is, finally, *observable* (docs/OBSERVABILITY.md): an optional
+:class:`~repro.obs.Tracer` records nested ``launch`` → ``predict`` →
+``dispatch`` spans (with ``compile`` → ``analyse`` on the compile-time
+side) and an optional :class:`~repro.obs.MetricsRegistry` counts
+launches, retries, fallbacks, lint/drift verdicts and prediction error.
+Both default off (:data:`~repro.obs.NULL_TRACER`), record-only, and
+leave every ``LaunchRecord`` bit-identical whether attached or not.
 """
 
 from __future__ import annotations
@@ -60,6 +68,7 @@ from ..ir import Region
 from ..lint.gate import FALLBACK_LINT, GateDecision, LintGate, LintGateError
 from ..machines import Platform
 from ..models import SelectionPrediction
+from ..obs import NULL_TRACER, MetricsRegistry, NullTracer, Tracer
 from .device import AcceleratorDevice, ExecutionRecord, HostDevice
 from .policies import ModelGuided, Policy
 
@@ -148,11 +157,15 @@ class OffloadingRuntime:
     sentinel: DriftSentinel | None = None
     watchdog: Watchdog | None = None
     health_decay_halflife_s: float | None = None  # simulated-time penalty decay
+    tracer: Tracer | NullTracer = NULL_TRACER  # off by default (records nothing)
+    metrics: MetricsRegistry | None = None
 
     def __post_init__(self):
         self._host = HostDevice(self.platform.host, num_threads=self.num_threads)
         self._accel = AcceleratorDevice(self.platform.gpu, self.platform.bus)
         self.clock = SimulatedClock()
+        if self.tracer.enabled and self.tracer.clock is None:
+            self.tracer.clock = self.clock  # span timestamps follow this runtime
         self.health = DeviceHealth(
             self._accel.name,
             clock=self.clock,
@@ -166,91 +179,143 @@ class OffloadingRuntime:
     # -- compile time -------------------------------------------------------
     def compile_region(self, region: Region) -> RegionAttributes:
         """Outline + analyse a region into the attribute database."""
-        return self.db.compile_region(region)
+        with self.tracer.activate():
+            return self.db.compile_region(region)
 
     # -- run time -------------------------------------------------------------
     def launch(self, region_name: str, env: Mapping[str, int]) -> LaunchRecord:
         """Reach a target region with runtime values and dispatch it."""
+        tracer = self.tracer
+        with tracer.activate(), tracer.span(
+            "launch", region=region_name, policy=self.policy.name
+        ) as span:
+            record = self._launch(region_name, env, tracer)
+            if tracer.enabled:
+                span.set("target", record.target)
+                if record.fallback is not None:
+                    span.set("fallback", record.fallback)
+        if self.metrics is not None:
+            self._record_metrics(record)
+        return record
+
+    def _launch(
+        self,
+        region_name: str,
+        env: Mapping[str, int],
+        tracer: Tracer | NullTracer,
+    ) -> LaunchRecord:
         attrs = self.db.lookup(region_name)
         bound = attrs.bind(env)
 
         cpu_rec: ExecutionRecord = self._host.execute(attrs.region, env)
         gpu_rec: ExecutionRecord = self._accel.execute(attrs.region, env)
 
-        requested, prediction = self.policy.choose(
-            bound,
-            self.platform,
-            num_threads=self.num_threads,
-            sim_cpu_seconds=cpu_rec.seconds,
-            sim_gpu_seconds=gpu_rec.seconds,
-        )
-        # Self-healing selection: when the sentinel has flagged a stream,
-        # the healed pick *is* the request (the raw model pick survives in
-        # the drift provenance).  None while everything is CALIBRATED.
-        drift_decision: DriftDecision | None = None
-        if self._healer is not None and prediction is not None:
-            drift_decision = self._healer.decide(region_name, prediction)
-            if drift_decision is not None:
-                requested = drift_decision.target
+        with tracer.span(
+            "predict", region=region_name, policy=self.policy.name
+        ) as pspan:
+            requested, prediction = self.policy.choose(
+                bound,
+                self.platform,
+                num_threads=self.num_threads,
+                sim_cpu_seconds=cpu_rec.seconds,
+                sim_gpu_seconds=gpu_rec.seconds,
+            )
+            # Self-healing selection: when the sentinel has flagged a stream,
+            # the healed pick *is* the request (the raw model pick survives in
+            # the drift provenance).  None while everything is CALIBRATED.
+            drift_decision: DriftDecision | None = None
+            if self._healer is not None and prediction is not None:
+                drift_decision = self._healer.decide(region_name, prediction)
+                if drift_decision is not None:
+                    requested = drift_decision.target
+            if tracer.enabled:
+                pspan.set("requested", requested)
+                if prediction is not None:
+                    pspan.set("pred_cpu_s", prediction.cpu.seconds)
+                    pspan.set("pred_gpu_s", prediction.gpu.seconds)
+                if drift_decision is not None:
+                    pspan.set("drift_mode", drift_decision.mode)
+                    pspan.set("drift_cpu_state", drift_decision.cpu_state)
+                    pspan.set("drift_gpu_state", drift_decision.gpu_state)
         target = requested
         fallback: str | None = None
         attempts = 0
         events: tuple[FaultEvent, ...] = ()
         overhead = 0.0
 
-        lint_decision = (
-            self.lint_gate.decide(attrs.region) if self.lint_gate else None
-        )
-
-        self.health.breaker.on_launch()
-        if target == "gpu" and lint_decision is not None and lint_decision.blocked:
-            if lint_decision.action == "raise":
-                raise LintGateError(region_name, lint_decision.codes)
-            target, fallback = "cpu", FALLBACK_LINT
-        if target == "gpu":
-            target, fallback = self._pre_dispatch_reroute(prediction)
-        if target == "gpu":
-            launch_index = self._accel_launches
-            result = dispatch_with_retries(
-                injector=self.injector,
-                retry=self.retry,
-                clock=self.clock,
-                health=self.health,
-                device_name=self._accel.name,
-                launch_index=launch_index,
-                footprint_bytes=region_footprint_bytes(attrs.region, env),
-                memory_bytes=int(self._accel.gpu.mem_size_gib * 2**30),
+        with tracer.span(
+            "dispatch", region=region_name, requested=requested
+        ) as dspan:
+            lint_decision = (
+                self.lint_gate.decide(attrs.region) if self.lint_gate else None
             )
-            self._accel_launches += 1
-            attempts = result.attempts
-            events = result.fault_events
-            overhead = result.overhead_seconds
-            if not result.ok:
-                target, fallback = "cpu", result.reason
-            elif self.watchdog is not None and prediction is not None:
-                overrun = self._check_deadline(
-                    prediction, drift_decision, gpu_rec.seconds, launch_index,
-                    attempts,
+
+            self.health.breaker.on_launch()
+            if (
+                target == "gpu"
+                and lint_decision is not None
+                and lint_decision.blocked
+            ):
+                if lint_decision.action == "raise":
+                    raise LintGateError(region_name, lint_decision.codes)
+                target, fallback = "cpu", FALLBACK_LINT
+            if target == "gpu":
+                target, fallback = self._pre_dispatch_reroute(prediction)
+            if target == "gpu":
+                launch_index = self._accel_launches
+                result = dispatch_with_retries(
+                    injector=self.injector,
+                    retry=self.retry,
+                    clock=self.clock,
+                    health=self.health,
+                    device_name=self._accel.name,
+                    launch_index=launch_index,
+                    footprint_bytes=region_footprint_bytes(attrs.region, env),
+                    memory_bytes=int(self._accel.gpu.mem_size_gib * 2**30),
                 )
-                if overrun is not None:
-                    deadline_event, deadline = overrun
-                    events = events + (deadline_event,)
-                    # the deadline's worth of device time was burned before
-                    # the kill; the host then reruns the region
-                    overhead += deadline
-                    self.clock.advance(deadline)
-                    target, fallback = "cpu", FALLBACK_DEADLINE
+                self._accel_launches += 1
+                attempts = result.attempts
+                events = result.fault_events
+                overhead = result.overhead_seconds
+                if not result.ok:
+                    target, fallback = "cpu", result.reason
+                elif self.watchdog is not None and prediction is not None:
+                    overrun = self._check_deadline(
+                        prediction, drift_decision, gpu_rec.seconds,
+                        launch_index, attempts,
+                    )
+                    if overrun is not None:
+                        deadline_event, deadline = overrun
+                        events = events + (deadline_event,)
+                        # the deadline's worth of device time was burned before
+                        # the kill; the host then reruns the region
+                        overhead += deadline
+                        self.clock.advance(deadline)
+                        target, fallback = "cpu", FALLBACK_DEADLINE
+            if tracer.enabled:
+                dspan.set("target", target)
+                dspan.set("attempts", attempts)
+                if fallback is not None:
+                    dspan.set("fallback", fallback)
+                if overhead:
+                    dspan.set("overhead_s", overhead)
+                if lint_decision is not None:
+                    dspan.set("lint_action", lint_decision.action)
+                for ev in events:
+                    dspan.event(
+                        "fault",
+                        device=ev.device_name,
+                        type=ev.error_type,
+                        attempt=ev.attempt,
+                    )
 
         executed = (cpu_rec.seconds if target == "cpu" else gpu_rec.seconds)
         executed += overhead
         if self.sentinel is not None and prediction is not None:
             # post-mortem: both sides are simulated every launch, so both
             # streams learn regardless of where the region actually ran
-            self.sentinel.observe(
-                "cpu", region_name, prediction.cpu.seconds, cpu_rec.seconds
-            )
-            self.sentinel.observe(
-                "gpu", region_name, prediction.gpu.seconds, gpu_rec.seconds
+            self._observe_sentinel(
+                region_name, prediction, cpu_rec.seconds, gpu_rec.seconds
             )
         return LaunchRecord(
             region_name=region_name,
@@ -324,3 +389,79 @@ class OffloadingRuntime:
             ):
                 return "cpu", FALLBACK_HEALTH
         return "gpu", None
+
+    # -- observability ------------------------------------------------------
+    def _observe_sentinel(
+        self,
+        region_name: str,
+        prediction: SelectionPrediction,
+        cpu_seconds: float,
+        gpu_seconds: float,
+    ) -> None:
+        """Feed the sentinel; count verdict transitions when metrics are on."""
+        metrics = self.metrics
+        before = (
+            {
+                dev: self.sentinel.state(dev, region_name)
+                for dev in ("cpu", "gpu")
+            }
+            if metrics is not None
+            else None
+        )
+        self.sentinel.observe(
+            "cpu", region_name, prediction.cpu.seconds, cpu_seconds
+        )
+        self.sentinel.observe(
+            "gpu", region_name, prediction.gpu.seconds, gpu_seconds
+        )
+        if metrics is not None:
+            for dev in ("cpu", "gpu"):
+                after = self.sentinel.state(dev, region_name)
+                if after is not before[dev]:
+                    metrics.counter(
+                        "drift_transitions_total", device=dev, to=after.value
+                    ).inc()
+
+    def _record_metrics(self, record: LaunchRecord) -> None:
+        """Fold one launch's outcome into the registry (observe-only)."""
+        metrics = self.metrics
+        metrics.counter("launches_total", device=record.target).inc()
+        if record.fallback is not None:
+            metrics.counter("fallbacks_total", reason=record.fallback).inc()
+        if record.attempts > 1:
+            metrics.counter("retries_total", device=self._accel.name).inc(
+                record.attempts - 1
+            )
+        for ev in record.fault_events:
+            metrics.counter("fault_events_total", type=ev.error_type).inc()
+        metrics.gauge("breaker_open_transitions", device=self._accel.name).set(
+            self.health.breaker.transitions.count("open")
+        )
+        if record.lint is not None:
+            metrics.counter("lint_findings_total", severity="error").inc(
+                record.lint.errors
+            )
+            metrics.counter("lint_findings_total", severity="warning").inc(
+                record.lint.warnings
+            )
+            if record.lint.blocked:
+                metrics.counter("lint_blocked_total").inc()
+        if record.drift is not None:
+            metrics.counter(
+                "drift_decisions_total", mode=record.drift.mode
+            ).inc()
+        if record.prediction is not None:
+            for device, predicted, observed in (
+                ("cpu", record.prediction.cpu.seconds, record.cpu_seconds),
+                ("gpu", record.prediction.gpu.seconds, record.gpu_seconds),
+            ):
+                if (
+                    predicted > 0.0
+                    and observed > 0.0
+                    and math.isfinite(predicted)
+                    and math.isfinite(observed)
+                ):
+                    metrics.histogram(
+                        "prediction_abs_log_error", device=device
+                    ).observe(abs(math.log10(predicted / observed)))
+        metrics.gauge("sim_clock_seconds").set(self.clock.now)

@@ -33,6 +33,7 @@ CALIBRATED leaves records bit-identical (``drift=None``).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Mapping
 
@@ -54,6 +55,7 @@ from ..ir import Region
 from ..lint.gate import FALLBACK_LINT, GateDecision, LintGate, LintGateError
 from ..machines import AcceleratorSlot, Platform
 from ..models import SelectionPrediction, predict_both
+from ..obs import NULL_TRACER, MetricsRegistry, NullTracer, Tracer
 from .device import AcceleratorDevice, HostDevice
 
 __all__ = ["DeviceOutcome", "MultiLaunchRecord", "MultiDeviceRuntime"]
@@ -134,6 +136,8 @@ class MultiDeviceRuntime:
     sentinel: DriftSentinel | None = None
     watchdog: Watchdog | None = None
     health_decay_halflife_s: float | None = None  # simulated-time penalty decay
+    tracer: Tracer | NullTracer = NULL_TRACER  # off by default (records nothing)
+    metrics: MetricsRegistry | None = None
 
     def __post_init__(self):
         if not self.platform.accelerators:
@@ -154,9 +158,12 @@ class MultiDeviceRuntime:
             for dev in self._accels
         }
         self._accel_launches = {dev.name: 0 for dev in self._accels}
+        if self.tracer.enabled and self.tracer.clock is None:
+            self.tracer.clock = self.clock  # span timestamps follow this runtime
 
     def compile_region(self, region: Region):
-        return self.db.compile_region(region)
+        with self.tracer.activate():
+            return self.db.compile_region(region)
 
     def _slot_prediction(
         self, bound, slot: AcceleratorSlot
@@ -246,6 +253,26 @@ class MultiDeviceRuntime:
 
     def launch(self, region_name: str, env: Mapping[str, int]) -> MultiLaunchRecord:
         """Predict every candidate device, dispatch to the best that works."""
+        tracer = self.tracer
+        with tracer.activate(), tracer.span(
+            "launch", region=region_name, devices=1 + len(self._accels)
+        ) as span:
+            record = self._launch(region_name, env, tracer)
+            if tracer.enabled:
+                span.set("chosen", record.chosen)
+                span.set("executed", record.executed_device or record.chosen)
+                if record.fallback is not None:
+                    span.set("fallback", record.fallback)
+        if self.metrics is not None:
+            self._record_metrics(record)
+        return record
+
+    def _launch(
+        self,
+        region_name: str,
+        env: Mapping[str, int],
+        tracer: Tracer | NullTracer,
+    ) -> MultiLaunchRecord:
         attrs = self.db.lookup(region_name)
         bound = attrs.bind(env)
 
@@ -253,7 +280,13 @@ class MultiDeviceRuntime:
         host_rec = self._host.execute(attrs.region, env)
         host_pred = None
         for slot, dev in zip(self.platform.accelerators, self._accels):
-            pred = self._slot_prediction(bound, slot)
+            with tracer.span(
+                "predict", region=region_name, device=dev.name
+            ) as pspan:
+                pred = self._slot_prediction(bound, slot)
+                if tracer.enabled:
+                    pspan.set("pred_cpu_s", pred.cpu.seconds)
+                    pspan.set("pred_gpu_s", pred.gpu.seconds)
             if host_pred is None:
                 host_pred = pred.cpu.seconds
                 outcomes.append(
@@ -294,87 +327,153 @@ class MultiDeviceRuntime:
         # Pre-dispatch lint gate: a region with blocking findings never
         # reaches an accelerator (the host runs it instead), and the
         # verdict lands in the record next to the fault provenance.
-        lint_decision = (
-            self.lint_gate.decide(attrs.region) if self.lint_gate else None
-        )
-        if (
-            lint_decision is not None
-            and lint_decision.blocked
-            and self.outcome_by_name(outcomes, chosen).kind == "gpu"
-        ):
-            if lint_decision.action == "raise":
-                raise LintGateError(region_name, lint_decision.codes)
-            host = next(o for o in outcomes if o.kind == "cpu")
+        with tracer.span(
+            "dispatch", region=region_name, chosen=chosen
+        ) as dspan:
+            lint_decision = (
+                self.lint_gate.decide(attrs.region) if self.lint_gate else None
+            )
+            if (
+                lint_decision is not None
+                and lint_decision.blocked
+                and self.outcome_by_name(outcomes, chosen).kind == "gpu"
+            ):
+                if lint_decision.action == "raise":
+                    raise LintGateError(region_name, lint_decision.codes)
+                host = next(o for o in outcomes if o.kind == "cpu")
+                if tracer.enabled:
+                    dspan.set("executed", host.device_name)
+                    dspan.set("fallback", FALLBACK_LINT)
+                return MultiLaunchRecord(
+                    region_name=region_name,
+                    outcomes=tuple(outcomes),
+                    chosen=chosen,
+                    executed_device=host.device_name,
+                    fallback=FALLBACK_LINT,
+                    lint=lint_decision,
+                    drift=self._observe_outcomes(region_name, outcomes),
+                )
+
+            # Dispatch order: chosen first, then the remaining candidates by
+            # effective prediction; the host terminates the chain.
+            ranked = sorted(outcomes, key=effective)
+            order = [self.outcome_by_name(outcomes, chosen)]
+            order += [
+                o for o in ranked if o.device_name != chosen and o.kind == "gpu"
+            ]
+            order += [o for o in ranked if o.kind == "cpu"]
+            executed, attempts, events, overhead, reason = self._dispatch(
+                attrs.region, env, order
+            )
+
+            # Watchdog: the executed accelerator's own (corrected) prediction
+            # bounds how long the runtime lets it run; an overrun is killed at
+            # the deadline and the region reruns on the host.
+            fallback = reason if executed != chosen else None
+            executed_outcome = self.outcome_by_name(outcomes, executed)
+            if (
+                self.watchdog is not None
+                and executed_outcome.kind == "gpu"
+            ):
+                predicted = executed_outcome.predicted_seconds
+                if self.sentinel is not None:
+                    predicted *= self.sentinel.correction(executed, region_name)
+                deadline = self.watchdog.deadline(predicted)
+                if executed_outcome.measured_seconds > deadline:
+                    err = DeadlineExceeded(
+                        f"device time {executed_outcome.measured_seconds:.3e}s "
+                        f"exceeded watchdog deadline {deadline:.3e}s",
+                        device_name=executed,
+                        launch_index=self._accel_launches[executed] - 1,
+                        attempt=max(attempts, 1),
+                        deadline_seconds=deadline,
+                        observed_seconds=executed_outcome.measured_seconds,
+                    )
+                    self.health[executed].record_failure(err)
+                    events = events + (
+                        FaultEvent(
+                            device_name=err.device_name,
+                            launch_index=err.launch_index,
+                            attempt=err.attempt,
+                            error_type=type(err).__name__,
+                            message=str(err),
+                        ),
+                    )
+                    overhead += deadline
+                    self.clock.advance(deadline)
+                    executed = self._host.name
+                    fallback = FALLBACK_DEADLINE
+
+            if tracer.enabled:
+                dspan.set("executed", executed)
+                dspan.set("attempts", attempts)
+                if fallback is not None:
+                    dspan.set("fallback", fallback)
+                for ev in events:
+                    dspan.event(
+                        "fault",
+                        device=ev.device_name,
+                        type=ev.error_type,
+                        attempt=ev.attempt,
+                    )
             return MultiLaunchRecord(
                 region_name=region_name,
                 outcomes=tuple(outcomes),
                 chosen=chosen,
-                executed_device=host.device_name,
-                fallback=FALLBACK_LINT,
+                executed_device=executed,
+                attempts=attempts,
+                fault_events=events,
+                fallback=fallback,
+                overhead_seconds=overhead,
                 lint=lint_decision,
                 drift=self._observe_outcomes(region_name, outcomes),
             )
 
-        # Dispatch order: chosen first, then the remaining candidates by
-        # effective prediction; the host terminates the chain.
-        ranked = sorted(outcomes, key=effective)
-        order = [self.outcome_by_name(outcomes, chosen)]
-        order += [o for o in ranked if o.device_name != chosen and o.kind == "gpu"]
-        order += [o for o in ranked if o.kind == "cpu"]
-        executed, attempts, events, overhead, reason = self._dispatch(
-            attrs.region, env, order
-        )
-
-        # Watchdog: the executed accelerator's own (corrected) prediction
-        # bounds how long the runtime lets it run; an overrun is killed at
-        # the deadline and the region reruns on the host.
-        fallback = reason if executed != chosen else None
-        executed_outcome = self.outcome_by_name(outcomes, executed)
-        if (
-            self.watchdog is not None
-            and executed_outcome.kind == "gpu"
-        ):
-            predicted = executed_outcome.predicted_seconds
-            if self.sentinel is not None:
-                predicted *= self.sentinel.correction(executed, region_name)
-            deadline = self.watchdog.deadline(predicted)
-            if executed_outcome.measured_seconds > deadline:
-                err = DeadlineExceeded(
-                    f"device time {executed_outcome.measured_seconds:.3e}s "
-                    f"exceeded watchdog deadline {deadline:.3e}s",
-                    device_name=executed,
-                    launch_index=self._accel_launches[executed] - 1,
-                    attempt=max(attempts, 1),
-                    deadline_seconds=deadline,
-                    observed_seconds=executed_outcome.measured_seconds,
-                )
-                self.health[executed].record_failure(err)
-                events = events + (
-                    FaultEvent(
-                        device_name=err.device_name,
-                        launch_index=err.launch_index,
-                        attempt=err.attempt,
-                        error_type=type(err).__name__,
-                        message=str(err),
-                    ),
-                )
-                overhead += deadline
-                self.clock.advance(deadline)
-                executed = self._host.name
-                fallback = FALLBACK_DEADLINE
-
-        return MultiLaunchRecord(
-            region_name=region_name,
-            outcomes=tuple(outcomes),
-            chosen=chosen,
-            executed_device=executed,
-            attempts=attempts,
-            fault_events=events,
-            fallback=fallback,
-            overhead_seconds=overhead,
-            lint=lint_decision,
-            drift=self._observe_outcomes(region_name, outcomes),
-        )
+    # -- observability ------------------------------------------------------
+    def _record_metrics(self, record: MultiLaunchRecord) -> None:
+        """Fold one launch's outcome into the registry (observe-only)."""
+        metrics = self.metrics
+        executed = record.executed_device or record.chosen
+        metrics.counter("launches_total", device=executed).inc()
+        if record.fallback is not None:
+            metrics.counter("fallbacks_total", reason=record.fallback).inc()
+        if record.attempts > 1:
+            metrics.counter("retries_total").inc(record.attempts - 1)
+        for ev in record.fault_events:
+            metrics.counter("fault_events_total", type=ev.error_type).inc()
+        for name, health in self.health.items():
+            metrics.gauge("breaker_open_transitions", device=name).set(
+                health.breaker.transitions.count("open")
+            )
+        if record.lint is not None:
+            metrics.counter("lint_findings_total", severity="error").inc(
+                record.lint.errors
+            )
+            metrics.counter("lint_findings_total", severity="warning").inc(
+                record.lint.warnings
+            )
+            if record.lint.blocked:
+                metrics.counter("lint_blocked_total").inc()
+        if record.drift is not None:
+            for device, state in record.drift:
+                metrics.counter(
+                    "drift_flagged_total", device=device, state=state
+                ).inc()
+        for outcome in record.outcomes:
+            predicted, observed = (
+                outcome.predicted_seconds,
+                outcome.measured_seconds,
+            )
+            if (
+                predicted > 0.0
+                and observed > 0.0
+                and math.isfinite(predicted)
+                and math.isfinite(observed)
+            ):
+                metrics.histogram(
+                    "prediction_abs_log_error", device=outcome.device_name
+                ).observe(abs(math.log10(predicted / observed)))
+        metrics.gauge("sim_clock_seconds").set(self.clock.now)
 
     @staticmethod
     def outcome_by_name(

@@ -26,6 +26,7 @@ from ..ipda import analyze_region
 from ..ir import Region
 from ..ir.visit import count_reductions, memory_accesses
 from ..machines import CPUDescriptor
+from ..obs.tracer import current_tracer
 from ..mca import (
     MachineOp,
     find_band_level,
@@ -163,6 +164,31 @@ def simulate_cpu(
     chunk_size: int | None = None,
 ) -> CPUSimResult:
     """Simulate host-parallel execution of a region with actual sizes."""
+    tracer = current_tracer()
+    if not tracer.enabled:
+        return _simulate_cpu(
+            region, cpu, env, num_threads=num_threads, vectorize=vectorize,
+            schedule=schedule, chunk_size=chunk_size,
+        )
+    with tracer.span("sim.cpu", region=region.name, cpu=cpu.name) as sp:
+        result = _simulate_cpu(
+            region, cpu, env, num_threads=num_threads, vectorize=vectorize,
+            schedule=schedule, chunk_size=chunk_size,
+        )
+        sp.set("seconds", result.seconds)
+        return result
+
+
+def _simulate_cpu(
+    region: Region,
+    cpu: CPUDescriptor,
+    env: Mapping[str, int],
+    *,
+    num_threads: int | None = None,
+    vectorize: bool = True,
+    schedule: OMPSchedule = OMPSchedule.STATIC,
+    chunk_size: int | None = None,
+) -> CPUSimResult:
     parallel_iters = int(region.parallel_iterations().evaluate(env))
     plan = plan_cpu_execution(
         parallel_iters,

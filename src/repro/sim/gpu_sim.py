@@ -32,6 +32,7 @@ from ..ipda import analyze_region
 from ..ir import Region
 from ..ir.visit import count_reductions, memory_accesses
 from ..machines import GPUDescriptor
+from ..obs.tracer import current_tracer
 from .locality import (
     AccessLocality,
     AccessSpec,
@@ -110,6 +111,26 @@ def simulate_gpu_kernel(
     threads_per_block: int = DEFAULT_THREADS_PER_BLOCK,
 ) -> GPUSimResult:
     """Simulate one kernel launch with actual sizes and real coalescing."""
+    tracer = current_tracer()
+    if not tracer.enabled:
+        return _simulate_gpu_kernel(
+            region, gpu, env, threads_per_block=threads_per_block
+        )
+    with tracer.span("sim.gpu", region=region.name, gpu=gpu.name) as sp:
+        result = _simulate_gpu_kernel(
+            region, gpu, env, threads_per_block=threads_per_block
+        )
+        sp.set("seconds", result.seconds)
+        return result
+
+
+def _simulate_gpu_kernel(
+    region: Region,
+    gpu: GPUDescriptor,
+    env: Mapping[str, int],
+    *,
+    threads_per_block: int = DEFAULT_THREADS_PER_BLOCK,
+) -> GPUSimResult:
     parallel_iters = int(region.parallel_iterations().evaluate(env))
     plan = plan_gpu_launch(
         parallel_iters, gpu, threads_per_block=threads_per_block

@@ -1,9 +1,15 @@
-"""Small statistics helpers used by the experiment harness."""
+"""Small statistics helpers used by the experiment harness.
+
+Every function accepts any iterable (generators included) and
+materializes it exactly once; validation errors name the offending
+index and value so a bad data point in a long sweep is identifiable
+from the message alone.
+"""
 
 from __future__ import annotations
 
 import math
-from typing import Iterable, Sequence
+from typing import Iterable
 
 __all__ = ["geomean", "mean_absolute_log_error", "correlation", "summarize_ratio"]
 
@@ -13,46 +19,67 @@ def geomean(values: Iterable[float]) -> float:
     vals = list(values)
     if not vals:
         raise ValueError("geomean of empty sequence")
-    if any(v <= 0 for v in vals):
-        raise ValueError("geomean requires positive values")
+    for i, v in enumerate(vals):
+        if v <= 0:
+            raise ValueError(
+                f"geomean requires positive values; values[{i}] = {v!r}"
+            )
     return math.exp(sum(math.log(v) for v in vals) / len(vals))
 
 
 def mean_absolute_log_error(
-    predicted: Sequence[float], actual: Sequence[float]
+    predicted: Iterable[float], actual: Iterable[float]
 ) -> float:
     """Mean |log10(pred/actual)| — the natural error metric for speedups."""
-    if len(predicted) != len(actual) or not predicted:
-        raise ValueError("sequences must be equal-length and non-empty")
+    preds = list(predicted)
+    acts = list(actual)
+    if len(preds) != len(acts):
+        raise ValueError(
+            f"sequences must be equal length; got {len(preds)} predicted "
+            f"vs {len(acts)} actual"
+        )
+    if not preds:
+        raise ValueError("mean_absolute_log_error of empty sequences")
     total = 0.0
-    for p, a in zip(predicted, actual):
-        if p <= 0 or a <= 0:
-            raise ValueError("values must be positive")
+    for i, (p, a) in enumerate(zip(preds, acts)):
+        if p <= 0:
+            raise ValueError(f"predicted[{i}] = {p!r} must be positive")
+        if a <= 0:
+            raise ValueError(f"actual[{i}] = {a!r} must be positive")
         total += abs(math.log10(p / a))
-    return total / len(predicted)
+    return total / len(preds)
 
 
-def correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
+def correlation(xs: Iterable[float], ys: Iterable[float]) -> float:
     """Pearson correlation coefficient."""
-    if len(xs) != len(ys) or len(xs) < 2:
-        raise ValueError("need two equal-length sequences of >= 2 points")
-    n = len(xs)
-    mx = sum(xs) / n
-    my = sum(ys) / n
-    cov = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
-    vx = sum((x - mx) ** 2 for x in xs)
-    vy = sum((y - my) ** 2 for y in ys)
-    if vx == 0 or vy == 0:
-        raise ValueError("zero variance")
+    xv = list(xs)
+    yv = list(ys)
+    if len(xv) != len(yv):
+        raise ValueError(
+            f"sequences must be equal length; got {len(xv)} xs vs {len(yv)} ys"
+        )
+    if len(xv) < 2:
+        raise ValueError(f"correlation needs >= 2 points, got {len(xv)}")
+    n = len(xv)
+    mx = sum(xv) / n
+    my = sum(yv) / n
+    cov = sum((x - mx) * (y - my) for x, y in zip(xv, yv))
+    vx = sum((x - mx) ** 2 for x in xv)
+    vy = sum((y - my) ** 2 for y in yv)
+    if vx == 0:
+        raise ValueError(f"xs has zero variance (all values = {xv[0]!r})")
+    if vy == 0:
+        raise ValueError(f"ys has zero variance (all values = {yv[0]!r})")
     return cov / math.sqrt(vx * vy)
 
 
-def summarize_ratio(values: Sequence[float]) -> dict[str, float]:
+def summarize_ratio(values: Iterable[float]) -> dict[str, float]:
     """min / geomean / max summary of a set of ratios."""
-    if not values:
-        raise ValueError("empty sequence")
+    vals = list(values)
+    if not vals:
+        raise ValueError("summarize_ratio of empty sequence")
     return {
-        "min": min(values),
-        "geomean": geomean(values),
-        "max": max(values),
+        "min": min(vals),
+        "geomean": geomean(vals),
+        "max": max(vals),
     }

@@ -1,0 +1,11 @@
+"""Shared pytest configuration for the repro test suite."""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden snapshot files under tests/golden/ "
+        "from the current run instead of asserting against them",
+    )

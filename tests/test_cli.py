@@ -121,3 +121,38 @@ class TestDriftCommand:
         ]
         control = payload["scenarios"][0]
         assert control["bit_identical"] is True
+
+
+class TestTraceCommand:
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.benchmarks == []
+        assert args.platform == "p9-v100"
+        assert args.mode == "test"
+        assert args.output is None
+        assert args.format == "text"
+
+    def test_trace_bad_format_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "--format", "xml"])
+
+    def test_trace_text_summary(self, capsys):
+        assert main(["trace", "gemm"]) == 0
+        out = capsys.readouterr().out
+        assert "instrumented sweep: 1 launches" in out
+        assert "compile" in out and "dispatch" in out
+
+    def test_trace_json_is_chrome_trace_format(self, capsys):
+        assert main(["trace", "gemm", "atax", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        events = payload["traceEvents"]
+        assert {e["ph"] for e in events} <= {"M", "X", "i"}
+        names = {e["name"] for e in events if e["ph"] == "X"}
+        assert {"compile", "analyse", "launch", "predict", "dispatch"} <= names
+        assert payload["otherData"]["metrics"]["counters"]
+
+    def test_trace_writes_output_file(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(["trace", "gemm", "--format", "json", "-o", str(out)]) == 0
+        assert "wrote json trace" in capsys.readouterr().out
+        assert json.loads(out.read_text())["traceEvents"]

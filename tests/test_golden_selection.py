@@ -1,0 +1,64 @@
+"""Golden-snapshot regression test for the device-selection table.
+
+``tests/golden/selection.json`` pins, for every Polybench region on the
+paper's POWER9+V100 platform (benchmark datasets), the device the
+model-guided policy chooses and the predicted CPU/GPU times.  Any model
+or policy change that silently flips a selection fails here; intentional
+changes are recorded with ``pytest tests/test_golden_selection.py
+--update-golden``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.machines import platform_by_name
+from repro.polybench import SUITE
+from repro.runtime import ModelGuided, OffloadingRuntime
+
+GOLDEN = Path(__file__).parent / "golden" / "selection.json"
+
+
+def build_selection_table() -> dict[str, dict]:
+    platform = platform_by_name("p9-v100")
+    runtime = OffloadingRuntime(platform, policy=ModelGuided())
+    table: dict[str, dict] = {}
+    for spec in SUITE:
+        env = spec.env("benchmark")
+        for region in spec.build():
+            runtime.compile_region(region)
+            rec = runtime.launch(region.name, env)
+            table[region.name] = {
+                "chosen": rec.target,
+                "pred_cpu_s": rec.prediction.cpu.seconds,
+                "pred_gpu_s": rec.prediction.gpu.seconds,
+            }
+    return table
+
+
+def test_selection_matches_golden(request):
+    table = build_selection_table()
+    if request.config.getoption("--update-golden"):
+        GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN.write_text(json.dumps(table, indent=2, sort_keys=True) + "\n")
+        pytest.skip("golden selection table regenerated")
+    assert GOLDEN.exists(), (
+        "tests/golden/selection.json is missing; generate it with "
+        "`pytest tests/test_golden_selection.py --update-golden`"
+    )
+    golden = json.loads(GOLDEN.read_text())
+    assert sorted(table) == sorted(golden), (
+        "the Polybench region set changed; rerun with --update-golden "
+        "if the change is intentional"
+    )
+    for name in sorted(table):
+        got, want = table[name], golden[name]
+        assert got["chosen"] == want["chosen"], (
+            f"{name}: selection flipped {want['chosen']} -> {got['chosen']} "
+            "(rerun with --update-golden if intentional)"
+        )
+        for key in ("pred_cpu_s", "pred_gpu_s"):
+            assert got[key] == pytest.approx(want[key], rel=1e-9), (
+                f"{name}: {key} drifted from {want[key]} to {got[key]}"
+            )

@@ -1,0 +1,352 @@
+"""Tests for the observability layer: tracer, metrics, exporters.
+
+Covers the three contracts ISSUE demands of ``repro.obs``:
+
+* determinism — two identical seeded sweeps serialize byte-identically,
+* transparency — a runtime with the default :data:`NULL_TRACER` produces
+  launch records bit-identical to an instrumented one,
+* structure — spans nest ``compile`` → ``analyse`` and ``launch`` →
+  ``predict`` → ``dispatch`` for every Polybench region, and the JSON
+  exporter emits valid Chrome trace-event documents.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import run_trace
+from repro.machines import platform_by_name
+from repro.obs import (
+    DEFAULT_LOG_ERROR_BUCKETS,
+    NULL_TRACER,
+    Histogram,
+    MetricsRegistry,
+    Tracer,
+    chrome_trace_events,
+    chrome_trace_json,
+    current_tracer,
+    render_trace_text,
+)
+from repro.polybench import benchmark_by_name
+from repro.runtime import ModelGuided, MultiDeviceRuntime, OffloadingRuntime
+
+
+class TestTracer:
+    def test_spans_record_interval_and_attrs(self):
+        tr = Tracer()
+        with tr.span("outer", region="gemm") as sp:
+            sp.set("target", "gpu")
+        (rec,) = tr.spans
+        assert rec.name == "outer"
+        assert rec.attrs == {"region": "gemm", "target": "gpu"}
+        assert rec.end_ts is not None and rec.end_ts > rec.start_ts
+
+    def test_children_nest_strictly_inside_parents(self):
+        tr = Tracer()
+        with tr.span("parent"):
+            with tr.span("child"):
+                pass
+        parent, child = tr.spans
+        assert parent.depth == 0 and child.depth == 1
+        assert parent.start_ts < child.start_ts
+        assert child.end_ts < parent.end_ts
+
+    def test_timestamps_strictly_increase_without_a_clock(self):
+        tr = Tracer()
+        for _ in range(5):
+            with tr.span("s"):
+                pass
+        stamps = [t for rec in tr.spans for t in (rec.start_ts, rec.end_ts)]
+        assert stamps == sorted(stamps)
+        assert len(set(stamps)) == len(stamps)
+
+    def test_exception_annotates_and_closes_span(self):
+        tr = Tracer()
+        with pytest.raises(RuntimeError):
+            with tr.span("doomed"):
+                raise RuntimeError("boom")
+        (rec,) = tr.spans
+        assert rec.attrs["error"] == "RuntimeError"
+        assert rec.end_ts is not None
+
+    def test_instants_stamp_inside_the_running_span(self):
+        tr = Tracer()
+        with tr.span("dispatch") as sp:
+            sp.event("fault", device="gpu")
+        (inst,) = tr.instants
+        assert inst.name == "fault"
+        assert inst.attrs == {"device": "gpu"}
+        assert tr.spans[0].start_ts < inst.ts < tr.spans[0].end_ts
+
+    def test_clear_resets_everything(self):
+        tr = Tracer()
+        with tr.span("s"):
+            tr.instant("i")
+        tr.clear()
+        assert len(tr) == 0 and not tr.instants
+        with tr.span("again"):
+            pass
+        assert tr.spans[0].start_ts == 1  # sequence restarted
+
+    def test_activation_pushes_and_pops(self):
+        tr = Tracer()
+        assert current_tracer() is NULL_TRACER
+        with tr.activate():
+            assert current_tracer() is tr
+            inner = Tracer()
+            with inner.activate():
+                assert current_tracer() is inner
+            assert current_tracer() is tr
+        assert current_tracer() is NULL_TRACER
+
+
+class TestNullTracer:
+    def test_is_the_default_current_tracer(self):
+        assert current_tracer() is NULL_TRACER
+        assert not NULL_TRACER.enabled
+        assert len(NULL_TRACER) == 0
+
+    def test_span_is_a_shared_noop(self):
+        a = NULL_TRACER.span("x", region="gemm")
+        b = NULL_TRACER.span("y")
+        assert a is b  # allocation-free fast path
+        with a as sp:
+            sp.set("k", 1)
+            sp.event("e")
+        assert NULL_TRACER.spans == ()
+
+    def test_activate_never_touches_global_state(self):
+        with NULL_TRACER.activate():
+            assert current_tracer() is NULL_TRACER
+
+
+class TestMetrics:
+    def test_counters_are_get_or_create(self):
+        reg = MetricsRegistry()
+        a = reg.counter("launches_total", device="gpu")
+        b = reg.counter("launches_total", device="gpu")
+        assert a is b
+        a.inc()
+        b.inc(2)
+        assert reg.snapshot()["counters"]["launches_total{device=gpu}"] == 3
+
+    def test_label_order_is_irrelevant(self):
+        reg = MetricsRegistry()
+        reg.counter("c", b="2", a="1").inc()
+        reg.counter("c", a="1", b="2").inc()
+        assert reg.snapshot()["counters"] == {"c{a=1,b=2}": 2}
+
+    def test_counter_rejects_negative_increments(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(1.5)
+        reg.gauge("g").set(2.5)
+        assert reg.snapshot()["gauges"]["g"] == 2.5
+
+    def test_histogram_bucketing(self):
+        h = Histogram(buckets=(1.0, 10.0))
+        for v in (0.5, 1.0, 5.0, 100.0):
+            h.observe(v)
+        assert h.counts == [2, 1, 1]  # le_1, le_10, le_inf
+        assert h.count == 4
+        assert h.sum == pytest.approx(106.5)
+
+    def test_histogram_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+        with pytest.raises(ValueError):
+            Histogram(buckets=(1.0, float("inf")))
+
+    def test_snapshot_is_deterministic(self):
+        def build():
+            reg = MetricsRegistry()
+            reg.counter("z").inc()
+            reg.counter("a", x="1").inc(3)
+            reg.gauge("g").set(0.25)
+            reg.histogram("h").observe(0.15)
+            return reg
+
+        one, two = build().snapshot(), build().snapshot()
+        assert json.dumps(one, sort_keys=True) == json.dumps(two, sort_keys=True)
+        assert list(one["counters"]) == ["a{x=1}", "z"]  # sorted keys
+        hist = one["histograms"]["h"]
+        assert hist["count"] == 1
+        assert hist["buckets"]["le_0.2"] == 1
+        assert set(hist["buckets"]) == {
+            f"le_{b:g}" for b in DEFAULT_LOG_ERROR_BUCKETS
+        } | {"le_inf"}
+
+
+class TestExporters:
+    def _traced(self):
+        tr = Tracer()
+        with tr.span("launch", region="gemm") as sp:
+            sp.event("fault", device="gpu")
+            with tr.span("predict"):
+                pass
+        return tr
+
+    def test_chrome_events_shape(self):
+        events = chrome_trace_events(self._traced())
+        assert events[0]["ph"] == "M"  # process_name metadata first
+        xs = [e for e in events if e["ph"] == "X"]
+        assert [e["name"] for e in xs] == ["launch", "predict"]
+        for e in xs:
+            assert set(e) >= {"name", "cat", "ph", "ts", "dur", "pid", "tid"}
+            assert e["dur"] >= 0
+        (inst,) = [e for e in events if e["ph"] == "i"]
+        assert inst["name"] == "fault" and inst["s"] == "t"
+
+    def test_chrome_json_is_valid_and_embeds_metrics(self):
+        reg = MetricsRegistry()
+        reg.counter("launches_total", device="gpu").inc()
+        payload = json.loads(chrome_trace_json(self._traced(), reg))
+        assert payload["displayTimeUnit"] == "ms"
+        assert [e["name"] for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert (
+            payload["otherData"]["metrics"]["counters"][
+                "launches_total{device=gpu}"
+            ]
+            == 1
+        )
+
+    def test_text_render_shows_tree_and_tables(self):
+        reg = MetricsRegistry()
+        reg.counter("launches_total", device="gpu").inc()
+        text = render_trace_text(self._traced(), reg)
+        assert "launch" in text and "predict" in text
+        assert "launches_total{device=gpu}" in text
+
+
+def _suite_records(runtime, names=("gemm", "atax")):
+    records = []
+    for bench in names:
+        spec = benchmark_by_name(bench)
+        env = spec.env("test")
+        for region in spec.build():
+            runtime.compile_region(region)
+            records.append(runtime.launch(region.name, env))
+    return records
+
+
+class TestTransparency:
+    """A live tracer must never change what the runtimes record."""
+
+    def test_offloading_records_bit_identical_with_tracer_on(self):
+        platform = platform_by_name("p9-v100")
+        plain = _suite_records(OffloadingRuntime(platform, policy=ModelGuided()))
+        traced = _suite_records(
+            OffloadingRuntime(
+                platform,
+                policy=ModelGuided(),
+                tracer=Tracer(),
+                metrics=MetricsRegistry(),
+            )
+        )
+        assert plain == traced
+        assert current_tracer() is NULL_TRACER  # activation fully unwound
+
+    def test_multi_device_records_bit_identical_with_tracer_on(self):
+        platform = platform_by_name("p9-v100")
+        plain = _suite_records(MultiDeviceRuntime(platform), names=("gemm",))
+        traced = _suite_records(
+            MultiDeviceRuntime(
+                platform, tracer=Tracer(), metrics=MetricsRegistry()
+            ),
+            names=("gemm",),
+        )
+        assert plain == traced
+
+    def test_default_runtime_records_nothing(self):
+        platform = platform_by_name("p9-v100")
+        runtime = OffloadingRuntime(platform, policy=ModelGuided())
+        _suite_records(runtime, names=("gemm",))
+        assert runtime.tracer is NULL_TRACER
+        assert len(runtime.tracer) == 0
+        assert runtime.metrics is None
+
+
+class TestDeterminism:
+    def test_two_sweeps_serialize_byte_identically(self):
+        one = run_trace(benchmarks=["gemm", "atax"])
+        two = run_trace(benchmarks=["gemm", "atax"])
+        assert one.chrome_json() == two.chrome_json()
+        assert one.metrics.snapshot() == two.metrics.snapshot()
+        assert one.render() == two.render()
+
+
+class TestAcceptance:
+    """The ISSUE acceptance criterion, verified over the whole suite."""
+
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return run_trace(mode="test")
+
+    def test_every_region_nests_compile_analyse_predict_dispatch(self, sweep):
+        spans = sweep.tracer.spans
+
+        def within(inner, outer):
+            return (
+                outer.start_ts < inner.start_ts
+                and inner.end_ts < outer.end_ts
+            )
+
+        def top(name, region):
+            found = [
+                s
+                for s in spans
+                if s.name == name
+                and s.depth == 0
+                and s.attrs.get("region") == region
+            ]
+            assert found, f"no top-level {name} span for {region}"
+            return found[-1]
+
+        for region in sweep.region_names:
+            compile_span = top("compile", region)
+            launch = top("launch", region)
+            analyse = [
+                s
+                for s in spans
+                if s.name == "analyse" and within(s, compile_span)
+            ]
+            assert analyse, f"compile({region}) has no analyse child"
+            for stage in ("predict", "dispatch"):
+                inner = [
+                    s for s in spans if s.name == stage and within(s, launch)
+                ]
+                assert inner, f"launch({region}) has no {stage} child"
+            predict = next(s for s in spans if s.name == "predict" and within(s, launch))
+            dispatch = next(
+                s for s in spans if s.name == "dispatch" and within(s, launch)
+            )
+            assert predict.end_ts < dispatch.start_ts  # pipeline order
+
+    def test_chrome_json_is_well_formed(self, sweep):
+        payload = json.loads(sweep.chrome_json())
+        events = payload["traceEvents"]
+        assert {e["ph"] for e in events} <= {"M", "X", "i"}
+        for e in events:
+            if e["ph"] == "X":
+                assert isinstance(e["ts"], int) and e["dur"] >= 0
+        names = {e["name"] for e in events}
+        assert {"compile", "analyse", "launch", "predict", "dispatch"} <= names
+
+    def test_metrics_cover_every_launch(self, sweep):
+        snap = sweep.metrics.snapshot()
+        launched = sum(
+            v
+            for k, v in snap["counters"].items()
+            if k.startswith("launches_total{")
+        )
+        assert launched == len(sweep.records)
+        assert snap["gauges"]["sim_clock_seconds"] >= 0.0
+        errors = [
+            h
+            for k, h in snap["histograms"].items()
+            if k.startswith("prediction_abs_log_error{")
+        ]
+        assert errors and all(h["count"] > 0 for h in errors)

@@ -80,6 +80,45 @@ class TestErrors:
         assert out["geomean"] == pytest.approx(2.0)
 
 
+class TestErgonomics:
+    """Any iterable is accepted; errors name the offending index/value."""
+
+    def test_generators_accepted_everywhere(self):
+        assert geomean(v for v in (2.0, 8.0)) == pytest.approx(4.0)
+        assert mean_absolute_log_error(
+            (p for p in (1.0, 10.0)), (a for a in (1.0, 10.0))
+        ) == 0.0
+        assert correlation(
+            (x for x in (1.0, 2.0, 3.0)), (y for y in (2.0, 4.0, 6.0))
+        ) == pytest.approx(1.0)
+        out = summarize_ratio(v for v in (1.0, 4.0))
+        assert out["min"] == 1.0 and out["max"] == 4.0
+
+    def test_geomean_names_offender(self):
+        with pytest.raises(ValueError, match=r"values\[2\] = 0\.0"):
+            geomean([1.0, 2.0, 0.0])
+
+    def test_male_names_offending_side_and_index(self):
+        with pytest.raises(ValueError, match=r"predicted\[1\] = -1\.0"):
+            mean_absolute_log_error([1.0, -1.0], [1.0, 1.0])
+        with pytest.raises(ValueError, match=r"actual\[0\] = 0\.0"):
+            mean_absolute_log_error([1.0, 2.0], [0.0, 1.0])
+
+    def test_length_mismatch_reports_both_lengths(self):
+        with pytest.raises(ValueError, match="1 predicted vs 2 actual"):
+            mean_absolute_log_error([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError, match="3 xs vs 2 ys"):
+            correlation([1.0, 2.0, 3.0], [1.0, 2.0])
+
+    def test_correlation_names_degenerate_input(self):
+        with pytest.raises(ValueError, match="needs >= 2 points, got 1"):
+            correlation([1.0], [1.0])
+        with pytest.raises(ValueError, match="xs has zero variance"):
+            correlation([1.0, 1.0], [1.0, 2.0])
+        with pytest.raises(ValueError, match="ys has zero variance"):
+            correlation([1.0, 2.0], [3.0, 3.0])
+
+
 class TestTables:
     def test_render_table_basic(self):
         text = render_table(["name", "value"], [["a", 1], ["bb", 22]])
