@@ -10,15 +10,21 @@ Installed as ``repro-paper`` (see pyproject.toml), or run as
     repro-paper lint syrk --format json
     repro-paper drift --launches 96    # drift sentinel scenario grid
     repro-paper trace --format json -o trace.json   # Chrome trace of a sweep
+    repro-paper trace --jobs 4                 # parallel sweep, same output
+    repro-paper table1 --cache-dir .cache      # reuse analysis across runs
+    repro-paper cache stats                    # inspect the analysis cache
     repro-paper probe tlb|gpu|epcc
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import os
 import sys
 
 from .machines import POWER9, TESLA_V100, platform_by_name
+from .parallel import JOBS_ENV, AnalysisCache, default_cache_dir
 from .util import add_format_argument, emit_rows
 
 __all__ = ["main", "build_parser"]
@@ -167,6 +173,7 @@ def _cmd_trace(args) -> int:
         mode=args.mode,
         benchmarks=args.benchmarks or None,
         num_threads=args.threads,
+        jobs=args.jobs,
     )
     out = result.chrome_json() if args.format == "json" else result.render()
     if args.output:
@@ -178,6 +185,25 @@ def _cmd_trace(args) -> int:
         )
     else:
         print(out)
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from .util import emit_json
+
+    cache = AnalysisCache(args.cache_dir or default_cache_dir())
+    if args.action == "clear":
+        before = cache.entry_count()
+        cache.clear()
+        print(f"cleared {before} entries from {cache.cache_dir}")
+        return 0
+    stats = cache.stats()
+    if args.format == "json":
+        print(emit_json(stats))
+    else:
+        width = max(len(k) for k in stats)
+        for k in ("cache_dir", "entries", "version"):
+            print(f"{k:<{width}}  {stats[k]}")
     return 0
 
 
@@ -205,6 +231,27 @@ def _cmd_probe(args) -> int:
     return 0
 
 
+def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
+    """``--jobs`` / ``--cache-dir`` knobs shared by sweep-running commands."""
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for suite sweeps "
+            f"(default: ${JOBS_ENV}, else 1 = sequential)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "activate the persistent analysis cache rooted at this "
+            "directory (see also $REPRO_CACHE_DIR and 'repro-paper cache')"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-paper",
@@ -214,10 +261,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     art = sub.add_parser("artefact", help="regenerate a paper table/figure")
     art.add_argument("artefact", choices=_ARTEFACTS + ("all",))
+    _add_parallel_arguments(art)
     art.set_defaults(func=_cmd_artefact)
     # artefact names also work as top-level commands
     for name in _ARTEFACTS + ("all",):
         p = sub.add_parser(name, help=f"regenerate {name}")
+        _add_parallel_arguments(p)
         p.set_defaults(func=_cmd_artefact, artefact=name)
 
     sel = sub.add_parser("select", help="run the selector on one benchmark")
@@ -286,8 +335,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the rendered trace to a file instead of stdout",
     )
+    _add_parallel_arguments(trace)
     add_format_argument(trace)
     trace.set_defaults(func=_cmd_trace)
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or clear the persistent analysis cache",
+    )
+    cache.add_argument("action", choices=("stats", "clear"))
+    cache.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache directory (default: $REPRO_CACHE_DIR, else user cache)",
+    )
+    add_format_argument(cache)
+    cache.set_defaults(func=_cmd_cache)
 
     probe = sub.add_parser("probe", help="run a calibration microbenchmark")
     probe.add_argument("what", choices=("tlb", "gpu", "epcc"))
@@ -297,9 +360,31 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    ``--jobs`` is exported as ``$REPRO_JOBS`` so every sweep the command
+    runs (and every worker it forks) picks it up; ``--cache-dir``
+    activates a persistent :class:`AnalysisCache` for the command's
+    duration.  Both are restored afterwards so embedding callers (tests)
+    see no leaked state.
+    """
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    with contextlib.ExitStack() as stack:
+        jobs = getattr(args, "jobs", None)
+        if jobs is not None:
+            prev = os.environ.get(JOBS_ENV)
+            os.environ[JOBS_ENV] = str(jobs)
+            stack.callback(
+                lambda: (
+                    os.environ.pop(JOBS_ENV, None)
+                    if prev is None
+                    else os.environ.__setitem__(JOBS_ENV, prev)
+                )
+            )
+        cache_dir = getattr(args, "cache_dir", None)
+        if cache_dir and args.func is not _cmd_cache:
+            stack.enter_context(AnalysisCache(cache_dir).activate())
+        return args.func(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -13,6 +13,7 @@ from ..analysis import ProgramAttributeDatabase
 from ..calibrate import ModelCalibration, fit_model_calibration
 from ..machines import PLATFORM_P8_K80, PLATFORM_P9_V100, Platform, platform_by_name
 from ..models import SelectionPrediction, predict_both
+from ..parallel import SweepEngine, current_cache
 from ..polybench import KernelCase, all_kernel_cases
 from ..sim import simulate_cpu, simulate_gpu_kernel, simulate_transfers
 
@@ -58,12 +59,22 @@ _DB_CACHE: dict[str, ProgramAttributeDatabase] = {}
 _CAL_CACHE: dict[tuple, ModelCalibration] = {}
 
 
-def clear_caches() -> None:
-    """Drop all experiment memoization (for tests)."""
+def clear_caches(*, persistent: bool = True) -> None:
+    """Drop all experiment memoization (for tests).
+
+    With ``persistent=True`` (the default) the active persistent
+    :class:`~repro.parallel.AnalysisCache` — when one is enabled — is
+    cleared too, so a post-clear sweep genuinely recomputes everything
+    instead of replaying disk entries.
+    """
     _MEASURE_CACHE.clear()
     _PREDICT_CACHE.clear()
     _DB_CACHE.clear()
     _CAL_CACHE.clear()
+    if persistent:
+        cache = current_cache()
+        if cache.enabled:
+            cache.clear()
 
 
 def _database(mode: str) -> tuple[ProgramAttributeDatabase, list[KernelCase]]:
@@ -88,33 +99,98 @@ def _database(mode: str) -> tuple[ProgramAttributeDatabase, list[KernelCase]]:
     return db, cases
 
 
+def _calibration(plat: Platform, num_threads: int | None) -> ModelCalibration:
+    cal_key = (plat.name, num_threads)
+    if cal_key not in _CAL_CACHE:
+        _CAL_CACHE[cal_key] = fit_model_calibration(
+            plat, num_threads=num_threads
+        )
+    return _CAL_CACHE[cal_key]
+
+
+def _measure_case(
+    case: KernelCase, plat: Platform, num_threads: int | None
+) -> KernelMeasurement:
+    cpu = simulate_cpu(
+        case.region, plat.host, case.env, num_threads=num_threads
+    )
+    gpu = simulate_gpu_kernel(case.region, plat.gpu, case.env)
+    xfer = simulate_transfers(case.region, plat.bus, case.env)
+    return KernelMeasurement(
+        case=case,
+        cpu_seconds=cpu.seconds,
+        gpu_kernel_seconds=gpu.seconds,
+        gpu_transfer_seconds=xfer.total_seconds,
+    )
+
+
+def _measure_task(task: tuple) -> tuple[float, float, float]:
+    """Worker task: simulate one suite case, returning only the numbers.
+
+    Regions compare by identity, so the parent reattaches its own
+    :class:`KernelCase` objects; the worker rebuilds the (process-local)
+    database and ships back three floats.
+    """
+    plat_name, mode, index, num_threads = task
+    plat = _resolve_platform(plat_name)
+    _, cases = _database(mode)
+    m = _measure_case(cases[index], plat, num_threads)
+    return (m.cpu_seconds, m.gpu_kernel_seconds, m.gpu_transfer_seconds)
+
+
+def _predict_task(task: tuple) -> SelectionPrediction:
+    """Worker task: run the analytical predictor over one suite case."""
+    plat_name, mode, index, num_threads, calibrated, use_rt = task
+    plat = _resolve_platform(plat_name)
+    db, cases = _database(mode)
+    case = cases[index]
+    calibration = _calibration(plat, num_threads) if calibrated else None
+    bound = db.lookup(case.name).bind(case.env)
+    return predict_both(
+        bound,
+        plat,
+        num_threads=num_threads,
+        calibration=calibration,
+        use_runtime_tripcounts=use_rt,
+    )
+
+
 def measure_suite(
     platform: Platform | str,
     mode: str,
     *,
     num_threads: int | None = None,
+    jobs: int | None = None,
 ) -> list[KernelMeasurement]:
-    """Simulate every suite kernel on both devices of a platform."""
+    """Simulate every suite kernel on both devices of a platform.
+
+    ``jobs`` (default: ``$REPRO_JOBS``, else 1) fans cases over a
+    process pool; results always come back in case-declaration order and
+    are bit-identical to the sequential sweep.  ``jobs`` is excluded
+    from the memo key for exactly that reason.
+    """
     plat = _resolve_platform(platform)
     key = (plat.name, mode, num_threads)
     if key in _MEASURE_CACHE:
         return _MEASURE_CACHE[key]
     _, cases = _database(mode)
-    out: list[KernelMeasurement] = []
-    for case in cases:
-        cpu = simulate_cpu(
-            case.region, plat.host, case.env, num_threads=num_threads
+    engine = SweepEngine(jobs)
+    if engine.parallel:
+        numbers = engine.map(
+            _measure_task,
+            [(plat.name, mode, i, num_threads) for i in range(len(cases))],
         )
-        gpu = simulate_gpu_kernel(case.region, plat.gpu, case.env)
-        xfer = simulate_transfers(case.region, plat.bus, case.env)
-        out.append(
+        out = [
             KernelMeasurement(
                 case=case,
-                cpu_seconds=cpu.seconds,
-                gpu_kernel_seconds=gpu.seconds,
-                gpu_transfer_seconds=xfer.total_seconds,
+                cpu_seconds=n[0],
+                gpu_kernel_seconds=n[1],
+                gpu_transfer_seconds=n[2],
             )
-        )
+            for case, n in zip(cases, numbers)
+        ]
+    else:
+        out = [_measure_case(case, plat, num_threads) for case in cases]
     _MEASURE_CACHE[key] = out
     return out
 
@@ -126,32 +202,43 @@ def predict_suite(
     num_threads: int | None = None,
     calibrated: bool = True,
     use_runtime_tripcounts: bool = True,
+    jobs: int | None = None,
 ) -> list[SelectionPrediction]:
-    """Run the analytical predictor over every suite kernel."""
+    """Run the analytical predictor over every suite kernel.
+
+    ``jobs`` parallelizes exactly like :func:`measure_suite`: declaration
+    order, bit-identical results, excluded from the memo key.
+    """
     plat = _resolve_platform(platform)
     key = (plat.name, mode, num_threads, calibrated, use_runtime_tripcounts)
     if key in _PREDICT_CACHE:
         return _PREDICT_CACHE[key]
     db, cases = _database(mode)
-    calibration = None
-    if calibrated:
-        cal_key = (plat.name, num_threads)
-        if cal_key not in _CAL_CACHE:
-            _CAL_CACHE[cal_key] = fit_model_calibration(
-                plat, num_threads=num_threads
-            )
-        calibration = _CAL_CACHE[cal_key]
-    out: list[SelectionPrediction] = []
-    for case in cases:
-        bound = db.lookup(case.name).bind(case.env)
-        out.append(
+    engine = SweepEngine(jobs)
+    if engine.parallel:
+        # Populate the calibration memo before the pool forks so workers
+        # inherit it instead of refitting per process.
+        if calibrated:
+            _calibration(plat, num_threads)
+        out = engine.map(
+            _predict_task,
+            [
+                (plat.name, mode, i, num_threads, calibrated,
+                 use_runtime_tripcounts)
+                for i in range(len(cases))
+            ],
+        )
+    else:
+        calibration = _calibration(plat, num_threads) if calibrated else None
+        out = [
             predict_both(
-                bound,
+                db.lookup(case.name).bind(case.env),
                 plat,
                 num_threads=num_threads,
                 calibration=calibration,
                 use_runtime_tripcounts=use_runtime_tripcounts,
             )
-        )
+            for case in cases
+        ]
     _PREDICT_CACHE[key] = out
     return out

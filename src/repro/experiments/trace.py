@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from ..machines import Platform
 from ..obs import MetricsRegistry, Tracer, chrome_trace_json, render_trace_text
+from ..parallel import ObsTaskResult, SweepEngine, tracer_payload
 from ..polybench import SUITE, benchmark_by_name
 from ..runtime import LaunchRecord, ModelGuided, OffloadingRuntime
 from .common import _resolve_platform
@@ -46,20 +47,16 @@ class TraceResult:
         return header + "\n" + render_trace_text(self.tracer, self.metrics)
 
 
-def run_trace(
-    platform: "Platform | str" = "p9-v100",
-    mode: str = "test",
-    *,
-    benchmarks: list[str] | None = None,
-    num_threads: int | None = None,
-) -> TraceResult:
-    """Compile + launch every (selected) suite region with observability on."""
-    plat = _resolve_platform(platform)
-    specs = (
-        [benchmark_by_name(b) for b in benchmarks]
-        if benchmarks
-        else list(SUITE)
-    )
+def _trace_benchmark(task: tuple) -> ObsTaskResult:
+    """Worker task: one benchmark's instrumented sweep, obs included.
+
+    Each worker runs its own :class:`OffloadingRuntime` with a fresh
+    tracer/registry pair and ships the snapshot + span payload back for
+    the declaration-ordered merge in :func:`run_trace`.
+    """
+    plat_name, mode, bench_name, num_threads = task
+    plat = _resolve_platform(plat_name)
+    spec = benchmark_by_name(bench_name)
     tracer = Tracer()
     metrics = MetricsRegistry()
     runtime = OffloadingRuntime(
@@ -71,6 +68,68 @@ def run_trace(
     )
     records: list[LaunchRecord] = []
     names: list[str] = []
+    env = spec.env(mode)
+    for region in spec.build():
+        runtime.compile_region(region)
+        records.append(runtime.launch(region.name, env))
+        names.append(region.name)
+    return ObsTaskResult(
+        value=(tuple(names), tuple(records)),
+        metrics=metrics.snapshot(),
+        trace=tracer_payload(tracer),
+    )
+
+
+def run_trace(
+    platform: "Platform | str" = "p9-v100",
+    mode: str = "test",
+    *,
+    benchmarks: list[str] | None = None,
+    num_threads: int | None = None,
+    jobs: int | None = None,
+) -> TraceResult:
+    """Compile + launch every (selected) suite region with observability on.
+
+    With ``jobs > 1`` each benchmark's sweep runs in a pool worker;
+    launch records come back in suite-declaration order (bit-identical
+    to sequential), worker metrics merge into the same totals, and
+    worker spans are spliced into one trace with rebased timestamps
+    (deterministic run-to-run, but not byte-identical to the sequential
+    trace, whose single clock accumulates across benchmarks).
+    """
+    plat = _resolve_platform(platform)
+    specs = (
+        [benchmark_by_name(b) for b in benchmarks]
+        if benchmarks
+        else list(SUITE)
+    )
+    engine = SweepEngine(jobs)
+    if engine.parallel:
+        sweep = engine.map_obs(
+            _trace_benchmark,
+            [(plat.name, mode, spec.name, num_threads) for spec in specs],
+        )
+        names = [n for group_names, _ in sweep.values for n in group_names]
+        records = [r for _, group_records in sweep.values for r in group_records]
+        return TraceResult(
+            platform_name=plat.name,
+            mode=mode,
+            region_names=tuple(names),
+            records=tuple(records),
+            tracer=sweep.tracer,
+            metrics=sweep.metrics,
+        )
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    runtime = OffloadingRuntime(
+        plat,
+        policy=ModelGuided(),
+        num_threads=num_threads,
+        tracer=tracer,
+        metrics=metrics,
+    )
+    records = []
+    names = []
     for spec in specs:
         env = spec.env(mode)
         for region in spec.build():

@@ -30,7 +30,7 @@ from .nodes import (
 )
 from .region import Region, absv, cmp, expv, maxv, minv, select, sqrt
 from .printer import region_to_text
-from .parser import ParseError, parse_region
+from .parser import ParseError, parse_index, parse_region
 from .validate import ValidationError, validate_region
 from .visit import (
     MemoryAccess,
@@ -75,6 +75,7 @@ __all__ = [
     "sqrt",
     "region_to_text",
     "ParseError",
+    "parse_index",
     "parse_region",
     "ValidationError",
     "validate_region",

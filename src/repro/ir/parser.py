@@ -48,7 +48,7 @@ from .nodes import (
 from .region import Region
 from .types import DType, f32, f64, i32, i64
 
-__all__ = ["parse_region", "ParseError"]
+__all__ = ["parse_index", "parse_region", "ParseError"]
 
 
 class ParseError(Exception):
@@ -436,3 +436,17 @@ class _Parser:
 def parse_region(text: str) -> Region:
     """Parse a textual region dump back into a :class:`Region`."""
     return _Parser(text).parse()
+
+
+def parse_index(text: str) -> Expr:
+    """Parse a standalone symbolic index expression (an ``Expr`` repr).
+
+    Inverse of ``repr`` on the symbolic engine's canonical forms — the
+    property suite proves ``parse_index(repr(e)) == e`` — which gives the
+    analysis cache a JSON-safe serialization for symbolic strides.
+    """
+    p = _Parser(text)
+    expr = p._parse_index()
+    if p.peek()[0] != "eof":
+        raise ParseError(f"trailing input after index expression: {p.peek()[1]!r}")
+    return expr

@@ -124,6 +124,51 @@ class MetricsRegistry:
             )
         return inst
 
+    def merge_snapshot(self, snap: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        The merge is **order-independent for counters and histograms**
+        (both add), which is what lets the sweep engine combine
+        per-worker registries into exactly the totals a single-process
+        sweep would have recorded — exactly for every integer count;
+        histogram ``sum`` is a float fold, so regrouping observations
+        across workers can move its last ulp (float addition is not
+        associative).  Gauges are last-write-wins by nature, so the
+        merge overwrites them — callers merge snapshots in declaration
+        order to keep that deterministic.  Histogram
+        bucket bounds are recovered from the snapshot's ``le_`` keys;
+        merging histograms with mismatched bounds raises ``ValueError``
+        rather than silently misbinning.
+        """
+        for key, value in snap.get("counters", {}).items():
+            inst = self._counters.get(key)
+            if inst is None:
+                inst = self._counters[key] = Counter()
+            inst.inc(value)
+        for key, value in snap.get("gauges", {}).items():
+            inst = self._gauges.get(key)
+            if inst is None:
+                inst = self._gauges[key] = Gauge()
+            inst.set(value)
+        for key, payload in snap.get("histograms", {}).items():
+            buckets = payload["buckets"]
+            bounds = tuple(
+                float(b[len("le_"):]) for b in buckets if b != "le_inf"
+            )
+            hist = self._histograms.get(key)
+            if hist is None:
+                hist = self._histograms[key] = Histogram(buckets=bounds)
+            elif hist.buckets != tuple(sorted(bounds)):
+                raise ValueError(
+                    f"histogram {key!r}: cannot merge bounds {bounds} "
+                    f"into {hist.buckets}"
+                )
+            for i, bound in enumerate(hist.buckets):
+                hist.counts[i] += buckets[f"le_{bound:g}"]
+            hist.counts[-1] += buckets["le_inf"]
+            hist.count += payload["count"]
+            hist.sum += payload["sum"]
+
     def snapshot(self) -> dict:
         """Deterministic plain-dict dump (sorted keys, JSON-safe values)."""
         hists = {}

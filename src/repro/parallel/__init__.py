@@ -1,0 +1,56 @@
+"""Parallel sweep engine + persistent analysis cache.
+
+Two cooperating subsystems that make suite sweeps scale:
+
+* :class:`SweepEngine` — fans kernel cases over a process pool and
+  deterministically merges results, per-worker metrics and trace spans
+  back into case-declaration order (``--jobs N`` / ``$REPRO_JOBS``);
+* :class:`AnalysisCache` — a persistent, content-addressed store (JSON
+  records keyed by SHA-256 over canonical region IR + machine-model
+  fingerprint + package version) that memoizes compile/IPDA/MCA
+  analysis across processes and across runs (``$REPRO_CACHE_DIR``).
+
+Both are off by default: without an activated cache and with
+``jobs <= 1`` every code path is bit-identical to the pre-engine build.
+See docs/PERFORMANCE.md.
+"""
+
+from .cache import (
+    CACHE_DIR_ENV,
+    NULL_CACHE,
+    AnalysisCache,
+    NullCache,
+    compute_key,
+    current_cache,
+    default_cache_dir,
+    machine_fingerprint,
+    region_cache_key,
+)
+from .engine import (
+    JOBS_ENV,
+    ObsTaskResult,
+    SweepEngine,
+    SweepObsResult,
+    merge_tracer_payloads,
+    resolve_jobs,
+    tracer_payload,
+)
+
+__all__ = [
+    "AnalysisCache",
+    "CACHE_DIR_ENV",
+    "JOBS_ENV",
+    "NULL_CACHE",
+    "NullCache",
+    "ObsTaskResult",
+    "SweepEngine",
+    "SweepObsResult",
+    "compute_key",
+    "current_cache",
+    "default_cache_dir",
+    "machine_fingerprint",
+    "merge_tracer_payloads",
+    "region_cache_key",
+    "resolve_jobs",
+    "tracer_payload",
+]

@@ -1,0 +1,242 @@
+"""Deterministic parallel sweep engine.
+
+A :class:`SweepEngine` fans independent kernel-case tasks out over a
+``concurrent.futures.ProcessPoolExecutor`` and merges results back into
+**case-declaration order**, regardless of completion order — so a
+``--jobs 8`` sweep produces a byte-identical result stream to the
+sequential one (the differential harness in ``tests/test_parallel.py``
+asserts exactly that).  ``jobs <= 1`` degrades to an in-process
+sequential executor running the task functions unchanged, which keeps
+the default path free of multiprocessing machinery.
+
+Task functions must be module-level callables (picklable by qualified
+name) taking one picklable item.  Observability-carrying sweeps go
+through :meth:`SweepEngine.map_obs`: each task returns its value plus a
+metrics snapshot and a tracer payload, and the engine merges worker
+metrics order-independently (counters and histograms add; see
+``MetricsRegistry.merge_snapshot``) and splices worker trace spans into
+one tracer with rebased, strictly increasing timestamps — again in
+declaration order, so two runs of the same parallel sweep render
+byte-identical traces.
+
+Every worker process activates a process-local :class:`AnalysisCache`
+over the engine's ``cache_dir`` (when one is set), which is how static
+analysis done in one worker is amortized across all of them.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from ..obs import MetricsRegistry, Tracer
+from ..obs.tracer import InstantRecord, SpanRecord
+from .cache import AnalysisCache
+
+__all__ = [
+    "JOBS_ENV",
+    "ObsTaskResult",
+    "SweepEngine",
+    "SweepObsResult",
+    "merge_tracer_payloads",
+    "resolve_jobs",
+    "tracer_payload",
+]
+
+#: Environment variable supplying the default worker count (``--jobs``).
+JOBS_ENV = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Effective worker count: explicit value, else ``$REPRO_JOBS``, else 1."""
+    if jobs is None:
+        try:
+            jobs = int(os.environ.get(JOBS_ENV, "1"))
+        except ValueError:
+            jobs = 1
+    return max(1, int(jobs))
+
+
+# ---------------------------------------------------------------------------
+# Tracer payloads: JSON/pickle-safe span transport between processes
+# ---------------------------------------------------------------------------
+
+
+def tracer_payload(tracer: Tracer) -> dict:
+    """Serialize a tracer's spans/instants for transport to the parent."""
+    return {
+        "spans": [
+            {
+                "name": s.name,
+                "category": s.category,
+                "start": s.start_ts,
+                "end": s.end_ts,
+                "depth": s.depth,
+                "attrs": dict(s.attrs),
+                "index": s.index,
+            }
+            for s in tracer.spans
+        ],
+        "instants": [
+            {
+                "name": i.name,
+                "ts": i.ts,
+                "depth": i.depth,
+                "attrs": dict(i.attrs),
+                "index": i.index,
+            }
+            for i in tracer.instants
+        ],
+    }
+
+
+def merge_tracer_payloads(groups: Sequence[dict]) -> Tracer:
+    """Splice per-worker tracer payloads into one tracer, in group order.
+
+    Each group's timestamps are rebased past the previous group's maximum
+    so the merged trace stays totally ordered and strictly increasing —
+    the same invariant a single-process tracer guarantees.  The merge is
+    a pure function of the group sequence, so the declaration-ordered
+    groups of a parallel sweep always produce the same tracer no matter
+    which worker finished first.
+    """
+    merged = Tracer()
+    offset = 0
+    for group in groups:
+        group_max = 0
+        for s in group.get("spans", ()):
+            merged.spans.append(
+                _span_record(
+                    s["name"],
+                    s["category"],
+                    s["start"] + offset,
+                    None if s["end"] is None else s["end"] + offset,
+                    s["depth"],
+                    dict(s["attrs"]),
+                    s["index"] + offset,
+                )
+            )
+            group_max = max(group_max, s["start"], s["end"] or 0, s["index"])
+        for i in group.get("instants", ()):
+            merged.instants.append(
+                InstantRecord(
+                    i["name"],
+                    i["ts"] + offset,
+                    i["depth"],
+                    dict(i["attrs"]),
+                    i["index"] + offset,
+                )
+            )
+            group_max = max(group_max, i["ts"], i["index"])
+        offset += group_max
+    merged._seq = offset
+    return merged
+
+
+def _span_record(name, category, start, end, depth, attrs, index) -> SpanRecord:
+    rec = SpanRecord(name, category, start, depth, attrs, index)
+    rec.end_ts = end
+    return rec
+
+
+# ---------------------------------------------------------------------------
+# Worker plumbing
+# ---------------------------------------------------------------------------
+
+_WORKER_CACHE: AnalysisCache | None = None
+
+
+def _worker_init(cache_dir: str | None) -> None:
+    """Process-pool initializer: activate a process-local analysis cache."""
+    global _WORKER_CACHE
+    if cache_dir:
+        _WORKER_CACHE = AnalysisCache(cache_dir)
+        _WORKER_CACHE.activate().__enter__()  # for the process lifetime
+
+
+@dataclass(frozen=True)
+class ObsTaskResult:
+    """What an observability-carrying task returns to the engine."""
+
+    value: Any
+    metrics: dict  # a MetricsRegistry.snapshot()
+    trace: dict  # a tracer_payload()
+
+
+@dataclass(frozen=True)
+class SweepObsResult:
+    """A merged observability sweep: values + one registry + one tracer."""
+
+    values: list
+    metrics: MetricsRegistry
+    tracer: Tracer
+
+
+class SweepEngine:
+    """Fan kernel-case tasks over processes; merge in declaration order."""
+
+    def __init__(
+        self, jobs: int | None = None, *, cache_dir: str | None = None
+    ):
+        self.jobs = resolve_jobs(jobs)
+        self.cache_dir = cache_dir
+
+    @property
+    def parallel(self) -> bool:
+        return self.jobs > 1
+
+    def _sequential_cache(self):
+        if self.cache_dir:
+            return AnalysisCache(self.cache_dir).activate()
+        return contextlib.nullcontext()
+
+    def _collect(
+        self, fn: Callable[[Any], Any], items: list
+    ) -> list:
+        """Run ``fn`` over ``items``; results indexed by declaration order."""
+        if not self.parallel or len(items) <= 1:
+            with self._sequential_cache():
+                return [fn(item) for item in items]
+        results: list = [None] * len(items)
+        workers = min(self.jobs, len(items))
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker_init,
+            initargs=(self.cache_dir,),
+        ) as pool:
+            futures = {
+                pool.submit(fn, item): index
+                for index, item in enumerate(items)
+            }
+            for future in as_completed(futures):
+                results[futures[future]] = future.result()
+        return results
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable) -> list:
+        """Apply ``fn`` to every item; return values in declaration order."""
+        return self._collect(fn, list(items))
+
+    def map_obs(
+        self, fn: Callable[[Any], ObsTaskResult], items: Iterable
+    ) -> SweepObsResult:
+        """Like :meth:`map` for tasks that also carry metrics and spans.
+
+        ``fn`` must return an :class:`ObsTaskResult`.  Worker metrics are
+        merged order-independently (counters/histograms add across
+        workers; gauges take the last declaration-ordered write) and
+        worker trace spans are spliced into one tracer in declaration
+        order with rebased timestamps.
+        """
+        outcomes = self._collect(fn, list(items))
+        metrics = MetricsRegistry()
+        for outcome in outcomes:
+            metrics.merge_snapshot(outcome.metrics)
+        tracer = merge_tracer_payloads([o.trace for o in outcomes])
+        return SweepObsResult(
+            values=[o.value for o in outcomes],
+            metrics=metrics,
+            tracer=tracer,
+        )

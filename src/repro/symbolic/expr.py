@@ -103,6 +103,16 @@ class Expr:
     def __mod__(self, other: "Expr | Number") -> "Expr":
         return Mod.make(self, as_expr(other))
 
+    # -- pickling --------------------------------------------------------
+    # Subclasses block __setattr__ to stay immutable, which would also
+    # break pickle's slot restoration; restore through object.__setattr__
+    # so expressions (and the regions that embed them) survive the
+    # process-pool transport used by the parallel sweep engine.
+    def __setstate__(self, state) -> None:
+        _, slots = state
+        for name, value in (slots or {}).items():
+            object.__setattr__(self, name, value)
+
     # -- interface -------------------------------------------------------
     def children(self) -> tuple["Expr", ...]:
         return ()

@@ -3,11 +3,25 @@
 import numpy as np
 import pytest
 
-from repro.ir import ParseError, parse_region, region_to_text, validate_region
+from repro.ir import (
+    ParseError,
+    parse_index,
+    parse_region,
+    region_to_text,
+    validate_region,
+)
 from repro.polybench import SUITE
 from repro.sim import allocate_arrays, execute_region
 
-from .kernels import build_gemm, build_strided_store, build_vecadd
+from .kernels import (
+    build_colwise,
+    build_gemm,
+    build_rowwise,
+    build_strided_store,
+    build_undeclared_reduction,
+    build_vecadd,
+    build_write_write_race,
+)
 
 
 def roundtrip(region):
@@ -81,6 +95,56 @@ class TestRoundTrip:
             r.store(A[i], select(cmp("le", A[i], eps), 1.0, sqrt(A[i])))
         parsed, text = roundtrip(r)
         assert region_to_text(parsed) == text
+
+
+class TestCanonicalFixpoint:
+    """The printer's output is the cache's canonical form — it must be a
+    parser fixpoint for *every* region we ship, broken fixtures included
+    (the lint corpus flows through the same analysis cache)."""
+
+    BUILDERS = [
+        build_colwise,
+        build_gemm,
+        build_rowwise,
+        build_strided_store,
+        build_vecadd,
+        build_undeclared_reduction,
+        build_write_write_race,
+    ]
+
+    @pytest.mark.parametrize("build", BUILDERS, ids=lambda b: b.__name__)
+    def test_fixture_fixed_point(self, build):
+        # no validate_region here: the broken fixtures are *meant* to be
+        # invalid, but they still must print/parse to a stable text
+        region = build()
+        text = region_to_text(region)
+        assert region_to_text(parse_region(text)) == text
+
+    @pytest.mark.parametrize("spec", SUITE, ids=lambda s: s.name)
+    def test_polybench_double_roundtrip(self, spec):
+        for region in spec.build():
+            text = region_to_text(region)
+            once = parse_region(text)
+            twice = parse_region(region_to_text(once))
+            assert region_to_text(twice) == text, region.name
+
+
+class TestParseIndex:
+    def test_roundtrips_region_index_exprs(self):
+        from repro.ir.visit import memory_accesses
+
+        for build in TestCanonicalFixpoint.BUILDERS:
+            for acc in memory_accesses(build()):
+                flat = acc.flat_index()
+                assert parse_index(repr(flat)) == flat
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_index("[n] + 1 garbage")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_index("not an index %%")
 
 
 class TestErrors:

@@ -180,6 +180,99 @@ class TestMetrics:
         } | {"le_inf"}
 
 
+class TestMergeSnapshot:
+    """Worker-registry merging for the parallel sweep engine.
+
+    Counters and histograms must merge *order-independently* into
+    exactly what a single-process sweep records; gauges are last-write-
+    wins, decided by merge order.
+    """
+
+    @staticmethod
+    def _observe(reg: MetricsRegistry, values):
+        for v in values:
+            reg.counter("launches_total", device="gpu").inc()
+            reg.histogram("err", buckets=(0.1, 1.0)).observe(v)
+
+    def test_split_registries_merge_to_single_process_totals(self):
+        # dyadic values: float addition is exact for them under any
+        # grouping, so snapshot equality can be exact
+        values = [0.0625, 0.5, 2.0, 0.03125, 5.0]
+        single = MetricsRegistry()
+        self._observe(single, values)
+
+        merged = MetricsRegistry()
+        for chunk in (values[:2], values[2:4], values[4:]):
+            worker = MetricsRegistry()
+            self._observe(worker, chunk)
+            merged.merge_snapshot(worker.snapshot())
+        assert merged.snapshot() == single.snapshot()
+
+    def test_merge_is_order_independent_for_counters_and_histograms(self):
+        chunks = [[0.05, 0.5], [2.0], [0.07, 5.0]]
+        snaps = []
+        for chunk in chunks:
+            worker = MetricsRegistry()
+            self._observe(worker, chunk)
+            snaps.append(worker.snapshot())
+
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for s in snaps:
+            forward.merge_snapshot(s)
+        for s in reversed(snaps):
+            backward.merge_snapshot(s)
+        f, b = forward.snapshot(), backward.snapshot()
+        assert f["counters"] == b["counters"]
+        fh, bh = f["histograms"]["err"], b["histograms"]["err"]
+        assert fh["buckets"] == bh["buckets"]
+        assert fh["count"] == bh["count"]
+        assert fh["sum"] == pytest.approx(bh["sum"], rel=1e-12)
+
+    def test_gauges_take_the_last_merged_write(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.gauge("clock").set(1.0)
+        second.gauge("clock").set(2.0)
+        merged = MetricsRegistry()
+        merged.merge_snapshot(first.snapshot())
+        merged.merge_snapshot(second.snapshot())
+        assert merged.snapshot()["gauges"]["clock"] == 2.0
+
+    def test_merge_into_populated_registry_adds(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        other = MetricsRegistry()
+        other.counter("c").inc(3)
+        reg.merge_snapshot(other.snapshot())
+        assert reg.snapshot()["counters"]["c"] == 5
+
+    def test_mismatched_histogram_bounds_refuse_to_merge(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        other = MetricsRegistry()
+        other.histogram("h", buckets=(5.0, 6.0)).observe(0.5)
+        with pytest.raises(ValueError):
+            reg.merge_snapshot(other.snapshot())
+
+    def test_merge_recovers_bucket_bounds_from_snapshot(self):
+        worker = MetricsRegistry()
+        worker.histogram("h", buckets=(0.25, 4.0)).observe(3.0)
+        merged = MetricsRegistry()
+        merged.merge_snapshot(worker.snapshot())
+        assert merged.snapshot() == worker.snapshot()
+
+    def test_merged_suite_metrics_equal_single_process(self):
+        """Satellite acceptance: per-worker sweep registries merge to the
+        sequential sweep's counters/histogram counts."""
+        seq = run_trace(mode="test")
+        par = run_trace(mode="test", jobs=2)
+        sm, pm = seq.metrics.snapshot(), par.metrics.snapshot()
+        assert pm["counters"] == sm["counters"]
+        for key, want in sm["histograms"].items():
+            got = pm["histograms"][key]
+            assert got["buckets"] == want["buckets"]
+            assert got["count"] == want["count"]
+
+
 class TestExporters:
     def _traced(self):
         tr = Tracer()
