@@ -50,12 +50,13 @@ def test_faults_regeneration(benchmark):
     assert dead.total_seconds <= dead_cpu.total_seconds * 1.01
 
     # flaky transfers: retries happen, yet every policy completes and the
-    # model-guided selector matches the degraded oracle far closer than
-    # the blind always-gpu policy
+    # model-guided selector stays at the degraded-oracle optimum.  (No
+    # ordering vs always-gpu: each policy's dispatch sequence draws its
+    # own fault pattern, so a blind policy can land under 1.0 by luck.)
     flaky_gpu = result.get("flaky-transfer", "always-gpu")
     flaky_mg = result.get("flaky-transfer", "model-guided")
     assert flaky_gpu.faults > 0 and flaky_gpu.retries > 0
-    assert flaky_mg.vs_oracle <= flaky_gpu.vs_oracle
+    assert flaky_mg.vs_oracle <= 1.02
 
     # OOM-prone: the footprint trigger fires only on benchmark-size data
     oom = result.get("oom-prone", "always-gpu")

@@ -9,6 +9,7 @@ Installed as ``repro-paper`` (see pyproject.toml), or run as
     repro-paper lint                   # lint every bundled kernel
     repro-paper lint syrk --format json
     repro-paper drift --launches 96    # drift sentinel scenario grid
+    repro-paper replay --tiny          # traffic-replay chaos scenario grid
     repro-paper trace --format json -o trace.json   # Chrome trace of a sweep
     repro-paper trace --jobs 4                 # parallel sweep, same output
     repro-paper table1 --cache-dir .cache      # reuse analysis across runs
@@ -45,48 +46,57 @@ _ARTEFACTS = (
 )
 
 
-def _render_artefact(name: str) -> str:
+def _render_artefact(name: str) -> tuple[str, bool]:
+    """Render one artefact; the flag is its self-check verdict (if any)."""
     from . import experiments as ex
 
     if name == "table1":
-        return ex.run_table1().render()
+        return ex.run_table1().render(), True
     if name == "table2":
-        return ex.run_table2().render()
+        return ex.run_table2().render(), True
     if name == "table3":
-        return ex.run_table3().render()
+        return ex.run_table3().render(), True
     if name == "figure3":
-        return ex.run_figure3().render()
+        return ex.run_figure3().render(), True
     if name == "figure45":
-        return ex.run_figure45().render()
+        return ex.run_figure45().render(), True
     if name == "figure6":
-        return ex.run_figure6().render()
+        return ex.run_figure6().render(), True
     if name == "figure7":
-        return ex.run_figure7().render()
+        return ex.run_figure7().render(), True
     if name == "figure8":
         return "\n\n".join(
             ex.run_figure8(mode).render() for mode in ("test", "benchmark")
-        )
+        ), True
     if name == "ablations":
         return "\n\n".join(
             ex.run_ablations(mode).render() for mode in ("test", "benchmark")
-        )
+        ), True
     if name == "summary":
-        return ex.run_summary().render()
+        return ex.run_summary().render(), True
     if name == "crossgen":
         return "\n\n".join(
             ex.run_crossgen(mode).render() for mode in ("test", "benchmark")
-        )
+        ), True
     if name == "faults":
-        return ex.run_faults().render()
+        result = ex.run_faults()
+        return result.render(), result.passed
     raise KeyError(name)  # pragma: no cover - argparse restricts choices
 
 
 def _cmd_artefact(args) -> int:
     names = _ARTEFACTS if args.artefact == "all" else (args.artefact,)
+    failed = []
     for i, name in enumerate(names):
         if i:
             print()
-        print(_render_artefact(name))
+        text, ok = _render_artefact(name)
+        print(text)
+        if not ok:
+            failed.append(name)
+    if failed:
+        print(f"self-check FAILED: {', '.join(failed)}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -185,7 +195,43 @@ def _cmd_trace(args) -> int:
         )
     else:
         print(out)
-    return 0
+    return 0 if result.passed else 1
+
+
+def _cmd_replay(args) -> int:
+    from .experiments import run_replay
+    from .util import emit_json
+
+    launches = 2_000 if args.tiny else args.launches
+    extra = {}
+    if args.scenarios:
+        extra["scenarios"] = tuple(
+            s.strip() for s in args.scenarios.split(",") if s.strip()
+        )
+    result = run_replay(
+        launches=launches,
+        seed=args.seed,
+        platform=platform_by_name(args.platform),
+        utilization=args.utilization,
+        overload_utilization=args.overload_utilization,
+        capacity=args.capacity,
+        **extra,
+    )
+    out = (
+        emit_json(result.to_payload())
+        if args.format == "json"
+        else result.render()
+    )
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(out + "\n")
+        print(
+            f"wrote replay {args.format} report "
+            f"({launches} requests/scenario) to {args.output}"
+        )
+    else:
+        print(out)
+    return 0 if result.passed else 1
 
 
 def _cmd_cache(args) -> int:
@@ -313,6 +359,61 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_format_argument(drift)
     drift.set_defaults(func=_cmd_drift)
+
+    replay = sub.add_parser(
+        "replay",
+        help=(
+            "replay a seeded traffic trace under the chaos scenario grid "
+            "(exit 1 when a self-check fails)"
+        ),
+    )
+    replay.add_argument("--platform", default="p9-v100")
+    replay.add_argument(
+        "--launches",
+        type=int,
+        default=20_000,
+        help="requests per scenario (default: 20000)",
+    )
+    replay.add_argument("--seed", type=int, default=0)
+    replay.add_argument(
+        "--utilization",
+        type=float,
+        default=0.6,
+        help="steady-state offered load (default: 0.6)",
+    )
+    replay.add_argument(
+        "--overload-utilization",
+        type=float,
+        default=3.0,
+        help="offered load of the overload scenarios (default: 3.0)",
+    )
+    replay.add_argument(
+        "--capacity",
+        type=int,
+        default=32,
+        help="admission-queue bound for the overload scenarios (default: 32)",
+    )
+    replay.add_argument(
+        "--tiny",
+        action="store_true",
+        help="2000-request smoke grid (the CI target)",
+    )
+    replay.add_argument(
+        "--scenarios",
+        default=None,
+        help=(
+            "comma-separated subset of the scenario grid "
+            "(the steady baseline is always required)"
+        ),
+    )
+    replay.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="write the report to a file instead of stdout",
+    )
+    add_format_argument(replay)
+    replay.set_defaults(func=_cmd_replay)
 
     trace = sub.add_parser(
         "trace",

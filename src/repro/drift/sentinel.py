@@ -253,6 +253,12 @@ class DriftSentinel:
     ``state``/``correction``.  ``on_drift`` fires once per
     CALIBRATED/SUSPECT→DRIFTED edge — the hook point for triggering a
     :mod:`repro.calibrate.model_fit` re-fit (see healing.py).
+
+    When a ``clock`` is attached (the runtimes wire their own
+    :class:`~repro.runtime.clock.SimulatedClock` in automatically),
+    every state change is appended to ``transitions`` with the simulated
+    timestamp it happened at — the raw material for time-to-detect /
+    time-to-recover scoring in the traffic replay harness.
     """
 
     def __init__(
@@ -260,10 +266,14 @@ class DriftSentinel:
         config: SentinelConfig | None = None,
         *,
         on_drift: Callable[[StreamStats], None] | None = None,
+        clock=None,
     ):
         self.config = config or SentinelConfig()
         self.on_drift = on_drift
+        self.clock = clock  # anything with a .now attribute (seconds), or None
         self.streams: dict[tuple[str, str], StreamStats] = {}
+        #: (sim time, device, region, old state, new state) per edge.
+        self.transitions: list[tuple[float, str, str, DriftState, DriftState]] = []
 
     def stream(self, device: str, region: str) -> StreamStats:
         key = (device, region)
@@ -277,6 +287,10 @@ class DriftSentinel:
         stream = self.stream(device, region)
         before = stream.state
         state = stream.observe(predicted, observed)
+        if state is not before and self.clock is not None:
+            self.transitions.append(
+                (self.clock.now, device, region, before, state)
+            )
         if (
             state is DriftState.DRIFTED
             and before is not DriftState.DRIFTED

@@ -27,6 +27,12 @@ from .drift import (
     run_drift,
 )
 from .faults import FaultScore, FaultsResult, run_faults
+from .replay import (
+    REPLAY_SCENARIOS,
+    ReplayResult,
+    ReplayRow,
+    run_replay,
+)
 from .trace import TraceResult, run_trace
 from .summary import Claim, SummaryResult, run_summary
 from .crossgen import CrossGenResult, GENERATIONS, run_crossgen
@@ -48,6 +54,10 @@ __all__ = [
     "FaultScore",
     "FaultsResult",
     "run_faults",
+    "REPLAY_SCENARIOS",
+    "ReplayResult",
+    "ReplayRow",
+    "run_replay",
     "TraceResult",
     "run_trace",
     "DriftResult",

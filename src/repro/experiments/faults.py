@@ -62,6 +62,47 @@ class FaultsResult:
                 return row
         raise KeyError((scenario, policy))
 
+    def _maybe(self, scenario: str, policy: str) -> FaultScore | None:
+        try:
+            return self.get(scenario, policy)
+        except KeyError:
+            return None
+
+    @property
+    def passed(self) -> bool:
+        """The robustness invariants bench_faults.py enforces, as one flag.
+
+        Checks apply to whichever (scenario, policy) cells the grid
+        actually contains, so reduced grids still self-check.
+        """
+        for row in self.rows:
+            if row.scenario != "fault-free":
+                continue
+            if row.faults or row.retries or row.fallbacks:
+                return False
+            if row.breaker_state != "closed" or row.vs_oracle < 1.0:
+                return False
+        dead = self._maybe("dead-gpu", "always-gpu")
+        if dead is not None and (
+            dead.fallbacks != dead.launches or dead.breaker_state == "closed"
+        ):
+            return False
+        flaky_gpu = self._maybe("flaky-transfer", "always-gpu")
+        flaky_mg = self._maybe("flaky-transfer", "model-guided")
+        if flaky_gpu is not None and (
+            flaky_gpu.faults == 0 or flaky_gpu.retries == 0
+        ):
+            return False
+        # no ordering vs always-gpu: each policy's dispatch sequence draws
+        # its own fault pattern, so a blind policy can land under 1.0 by
+        # luck — the invariant is that model-guided stays at the optimum
+        if flaky_mg is not None and flaky_mg.vs_oracle > 1.02:
+            return False
+        oom = self._maybe("oom-prone", "always-gpu")
+        if oom is not None and oom.fallbacks == 0:
+            return False
+        return True
+
     def render(self) -> str:
         body = [
             [

@@ -1,0 +1,356 @@
+"""Traffic-scale chaos replay: the production-robustness experiment.
+
+Not a paper artefact — the capstone robustness experiment
+(docs/ROBUSTNESS.md).  One seeded, Zipf-popularity, bursty trace is
+generated per run (:mod:`repro.replay`), its arrival rate calibrated
+from a chaos-free probe so the steady scenario sits at a stated
+utilization, and then replayed through the full resilient runtime under
+a scenario grid:
+
+* **steady**          — no chaos, unbounded queue: the accuracy and
+  overhead baseline every other scenario is gated against;
+* **fault-storm**     — 75% of accelerator attempts fault (retryably)
+  over a mid-trace window;
+* **brownout**        — every accelerator attempt fails over the window
+  (the card fell over); the breaker must open and later re-close;
+* **link-degraded**   — 35% transfer faults over the window (flaky
+  interconnect, mostly absorbed by the retry budget);
+* **hw-drift**        — the device *actually* runs 6x slower over the
+  window (``time_dilation``): the drift sentinel must detect from the
+  residuals and re-calibrate after;
+* **overload-reject / -degrade / -defer** — the trace is compressed to
+  ~3x offered load against a bounded admission queue, one row per
+  load-shedding policy.
+
+Gates (``ReplayRow.ok`` / ``ReplayResult.passed``): chaos scenarios keep
+steady-state selection accuracy within :data:`MAX_ACCURACY_DROP` of the
+baseline, detect every window within :data:`MAX_TTD_FRACTION` of its
+duration and recover within :data:`MAX_TTR_S`; every scenario's
+dispatch-overhead p99 is finite; overload scenarios keep the queue depth
+bounded by its capacity while shedding/degrading/deferring a nonzero
+fraction.  ``benchmarks/bench_replay.py`` enforces the same numbers from
+``benchmarks/traffic_thresholds.json`` at the 10⁵-launch scale.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..machines import PLATFORM_P9_V100, Platform
+from ..replay import (
+    AdmissionConfig,
+    ChaosSchedule,
+    ChaosWindow,
+    MemoizedPolicy,
+    ReplayConfig,
+    ReplayEngine,
+    ReplayScore,
+    WorkloadConfig,
+    generate_requests,
+    score_run,
+)
+from ..runtime import ExecutionMemo
+from ..util import render_table
+
+__all__ = [
+    "MAX_ACCURACY_DROP",
+    "MAX_TTD_FRACTION",
+    "MAX_TTR_S",
+    "REPLAY_SCENARIOS",
+    "ReplayRow",
+    "ReplayResult",
+    "run_replay",
+]
+
+#: Self-check thresholds (mirrored by benchmarks/traffic_thresholds.json).
+MAX_ACCURACY_DROP = 0.01  # steady-state accuracy loss vs the no-chaos baseline
+MAX_TTD_FRACTION = 0.25  # detection within this fraction of the window
+MAX_TTR_S = 2.0  # simulated seconds from window close to clean recovery
+
+REPLAY_SCENARIOS = (
+    "steady",
+    "fault-storm",
+    "brownout",
+    "link-degraded",
+    "hw-drift",
+    "overload-reject",
+    "overload-degrade",
+    "overload-defer",
+)
+
+_OVERLOAD_POLICIES = {
+    "overload-reject": "reject",
+    "overload-degrade": "degrade",
+    "overload-defer": "defer",
+}
+
+
+@dataclass(frozen=True)
+class ReplayRow:
+    """One scenario's score plus its gate verdict inputs."""
+
+    scenario: str
+    flavour: str  # "baseline" | "chaos" | "overload"
+    score: ReplayScore
+    baseline_steady_accuracy: float
+    capacity: int | None  # admission bound (overload rows)
+    outcome_counts: dict
+
+    @property
+    def accuracy_drop(self) -> float:
+        return self.baseline_steady_accuracy - self.score.steady_accuracy
+
+    @property
+    def ok(self) -> bool:
+        s = self.score
+        if s.overhead_nonfinite or not math.isfinite(s.overhead_p99_s):
+            return False
+        if self.flavour == "baseline":
+            return (
+                s.shed_fraction == 0.0
+                and s.degraded_fraction == 0.0
+                and s.fault_events == 0
+                and s.fallbacks == 0
+            )
+        if self.flavour == "chaos":
+            if self.accuracy_drop > MAX_ACCURACY_DROP:
+                return False
+            for w in s.windows:
+                if not w.detected or w.ttd_s > MAX_TTD_FRACTION * (
+                    w.stop_s - w.start_s
+                ):
+                    return False
+                if not w.recovered or w.ttr_s > MAX_TTR_S:
+                    return False
+            return True
+        # overload: the bound must hold and the policy must visibly shed
+        if self.capacity is not None and s.max_queue_depth > self.capacity:
+            return False
+        if self.scenario == "overload-reject":
+            return s.shed_fraction > 0.0 and s.degraded_fraction == 0.0
+        if self.scenario == "overload-degrade":
+            return s.degraded_fraction > 0.0 and s.shed_fraction == 0.0
+        return s.deferred > 0 and s.resumed > 0  # overload-defer
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """The full scenario grid of one traffic replay run."""
+
+    rows: tuple[ReplayRow, ...]
+    launches: int
+    seed: int
+    platform_name: str
+    mean_service_s: float
+    mean_interarrival_s: float
+    utilization: float
+    overload_utilization: float
+
+    def get(self, scenario: str) -> ReplayRow:
+        for row in self.rows:
+            if row.scenario == scenario:
+                return row
+        raise KeyError(scenario)
+
+    @property
+    def passed(self) -> bool:
+        return all(row.ok for row in self.rows)
+
+    def render(self) -> str:
+        def pct(x: float) -> str:
+            return "-" if not math.isfinite(x) else f"{x * 100:.2f}%"
+
+        def lat(w_attr: str, row: ReplayRow) -> str:
+            vals = [getattr(w, w_attr) for w in row.score.windows]
+            if not vals:
+                return "-"
+            return "/".join("inf" if v is None else f"{v:.3f}" for v in vals)
+
+        body = [
+            [
+                row.scenario,
+                row.score.launches,
+                pct(row.score.steady_accuracy),
+                pct(row.score.overall_accuracy),
+                f"{row.score.overhead_p99_s * 1e3:.3f}",
+                lat("ttd_s", row),
+                lat("ttr_s", row),
+                pct(row.score.shed_fraction),
+                pct(row.score.degraded_fraction),
+                row.score.max_queue_depth,
+                "ok" if row.ok else "FAIL",
+            ]
+            for row in self.rows
+        ]
+        return render_table(
+            [
+                "scenario",
+                "launches",
+                "steady acc",
+                "overall acc",
+                "p99 ovh (ms)",
+                "ttd (s)",
+                "ttr (s)",
+                "shed",
+                "degraded",
+                "depth",
+                "",
+            ],
+            body,
+            title=(
+                f"Traffic replay on {self.platform_name}: {self.launches} "
+                f"requests/scenario, util {self.utilization:g} steady / "
+                f"{self.overload_utilization:g} overload "
+                f"(seed {self.seed})"
+            ),
+        )
+
+    def to_payload(self) -> dict:
+        """Deterministic JSON-safe dump (byte-identical across reruns)."""
+        return {
+            "launches": self.launches,
+            "seed": self.seed,
+            "platform": self.platform_name,
+            "mean_service_s": self.mean_service_s,
+            "mean_interarrival_s": self.mean_interarrival_s,
+            "utilization": self.utilization,
+            "overload_utilization": self.overload_utilization,
+            "passed": self.passed,
+            "rows": [
+                {
+                    "scenario": row.scenario,
+                    "flavour": row.flavour,
+                    "ok": row.ok,
+                    "capacity": row.capacity,
+                    "baseline_steady_accuracy": row.baseline_steady_accuracy,
+                    "outcome_counts": row.outcome_counts,
+                    **row.score.to_payload(),
+                }
+                for row in self.rows
+            ],
+        }
+
+
+def _probe_mean_service(
+    platform: Platform,
+    seed: int,
+    launches: int,
+    policy: MemoizedPolicy,
+    memo: ExecutionMemo,
+) -> float:
+    """Chaos-free mean service time of the workload mix (deterministic)."""
+    cfg = ReplayConfig(
+        platform=platform,
+        workload=WorkloadConfig(launches=launches, seed=seed),
+    )
+    run = ReplayEngine(cfg, policy=policy, memo=memo).run()
+    records = run.records
+    return sum(r.executed_seconds for r in records) / len(records)
+
+
+def run_replay(
+    *,
+    launches: int = 20_000,
+    seed: int = 0,
+    platform: Platform = PLATFORM_P9_V100,
+    utilization: float = 0.6,
+    overload_utilization: float = 3.0,
+    capacity: int = 32,
+    scenarios: tuple[str, ...] = REPLAY_SCENARIOS,
+) -> ReplayResult:
+    """Run the scenario grid over one calibrated trace."""
+    unknown = set(scenarios) - set(REPLAY_SCENARIOS)
+    if unknown:
+        raise ValueError(f"unknown scenarios {sorted(unknown)}")
+    if "steady" not in scenarios:
+        raise ValueError("the steady baseline scenario is required")
+
+    memo = ExecutionMemo()
+    policy = MemoizedPolicy()
+    probe_launches = max(min(launches, 2_000), 200)
+    mean_service = _probe_mean_service(
+        platform, seed, probe_launches, policy, memo
+    )
+    mean_interarrival = mean_service / utilization
+
+    workload = WorkloadConfig(
+        launches=launches, seed=seed, mean_interarrival_s=mean_interarrival
+    )
+    requests = generate_requests(workload)
+    # chaos occupies the middle tenth of the trace, in *actual* arrival
+    # time (windows carve the exact same request prefix for every seed)
+    w_start = requests[int(0.45 * launches)].arrival_s
+    w_stop = requests[int(0.55 * launches)].arrival_s
+    margin = w_stop - w_start  # recovery margin: one window length
+
+    def chaos_for(kind: str) -> ChaosSchedule:
+        # the chaos scenario names coincide with the window kinds
+        window = ChaosWindow(
+            name=kind,
+            kind=kind,
+            start_s=w_start,
+            stop_s=w_stop,
+            probability=0.75 if kind == "fault-storm" else 0.35,
+            gpu_scale=6.0 if kind == "hw-drift" else 1.0,
+        )
+        return ChaosSchedule(windows=(window,), seed=seed)
+
+    overload_workload = WorkloadConfig(
+        launches=launches,
+        seed=seed,
+        mean_interarrival_s=mean_service / overload_utilization,
+    )
+
+    rows: list[ReplayRow] = []
+    baseline_steady = math.nan
+    for name in scenarios:
+        if name in _OVERLOAD_POLICIES:
+            flavour = "overload"
+            cfg = ReplayConfig(
+                platform=platform,
+                workload=overload_workload,
+                admission=AdmissionConfig(
+                    capacity=capacity,
+                    policy=_OVERLOAD_POLICIES[name],
+                    defer_capacity=max(capacity * 8, 64),
+                ),
+            )
+            run = ReplayEngine(cfg, policy=policy, memo=memo).run()
+            score = score_run(run)
+        else:
+            flavour = "baseline" if name == "steady" else "chaos"
+            cfg = ReplayConfig(
+                platform=platform,
+                workload=workload,
+                chaos=(
+                    ChaosSchedule() if name == "steady" else chaos_for(name)
+                ),
+            )
+            run = ReplayEngine(cfg, policy=policy, memo=memo).run(
+                requests=requests
+            )
+            score = score_run(run, recovery_margin_s=margin)
+        if name == "steady":
+            baseline_steady = score.steady_accuracy
+        rows.append(
+            ReplayRow(
+                scenario=name,
+                flavour=flavour,
+                score=score,
+                baseline_steady_accuracy=baseline_steady,
+                capacity=capacity if flavour == "overload" else None,
+                outcome_counts=run.outcome_counts(),
+            )
+        )
+
+    return ReplayResult(
+        rows=tuple(rows),
+        launches=launches,
+        seed=seed,
+        platform_name=platform.name,
+        mean_service_s=mean_service,
+        mean_interarrival_s=mean_interarrival,
+        utilization=utilization,
+        overload_utilization=overload_utilization,
+    )

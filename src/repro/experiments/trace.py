@@ -34,6 +34,17 @@ class TraceResult:
     tracer: Tracer
     metrics: MetricsRegistry
 
+    @property
+    def passed(self) -> bool:
+        """Self-check: the sweep recorded what it claims it recorded."""
+        if not self.records or len(self.records) != len(self.region_names):
+            return False
+        counters = self.metrics.snapshot()["counters"]
+        launches = sum(
+            v for k, v in counters.items() if k.startswith("launches_total")
+        )
+        return launches == len(self.records) and len(self.tracer.spans) > 0
+
     def chrome_json(self) -> str:
         """The sweep as Chrome trace-event JSON (open in Perfetto)."""
         return chrome_trace_json(self.tracer, self.metrics)

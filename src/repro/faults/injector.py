@@ -14,7 +14,11 @@ experiments score:
   (or every launch), the reproducible regression cases.
 
 Everything is replayable: the same seed and the same sequence of
-``check`` calls yield the same faults.
+``check`` calls yield the same faults.  Randomness is **stream-isolated**
+per ``(trigger stream label, device)``: each trigger draws from its own
+:func:`~repro.util.derive_rng` substream, so adding a trigger to a plan
+(or a chaos schedule to a replay) never reshuffles the draws an existing
+trigger sees — golden fault sequences survive plan composition.
 """
 
 from __future__ import annotations
@@ -24,6 +28,7 @@ from dataclasses import dataclass
 from typing import Mapping, Protocol, Sequence
 
 from ..ir import Region
+from ..util.rng import derive_rng
 from .errors import (
     DeviceError,
     DeviceMemoryError,
@@ -194,17 +199,24 @@ class DeadDevice:
 
 
 class FaultInjector:
-    """An ordered fault plan plus the seeded RNG that drives it.
+    """An ordered fault plan plus the seeded RNG streams that drive it.
 
     The first trigger that fires wins.  ``events`` accumulates every
     injected fault (the runtime also records them per launch);
-    ``reset()`` rewinds the RNG so the identical plan can be replayed.
+    ``reset()`` rewinds the RNG streams so the identical plan can be
+    replayed.
+
+    Each trigger draws from an independent substream keyed by its
+    ``stream_label`` (default: the trigger's class name) and the device
+    the attempt targets, so a trigger's draw sequence depends only on the
+    injector seed and the attempts *it* examines — never on how many
+    other triggers the plan carries or how often they draw.
     """
 
     def __init__(self, triggers: Sequence[FaultTrigger] = (), *, seed: int = 0):
         self.triggers = tuple(triggers)
         self.seed = seed
-        self._rng = random.Random(seed)
+        self._streams: dict[tuple[str, str], random.Random] = {}
         self.events: list[FaultEvent] = []
 
     @property
@@ -213,13 +225,22 @@ class FaultInjector:
 
     def reset(self) -> None:
         """Rewind to the initial state (same seed => same fault sequence)."""
-        self._rng = random.Random(self.seed)
+        self._streams.clear()
         self.events.clear()
+
+    def stream(self, trigger: FaultTrigger, device_name: str) -> random.Random:
+        """The trigger's isolated RNG substream for one device."""
+        label = getattr(trigger, "stream_label", None) or type(trigger).__name__
+        key = (label, device_name)
+        rng = self._streams.get(key)
+        if rng is None:
+            rng = self._streams[key] = derive_rng(self.seed, label, device_name)
+        return rng
 
     def check(self, ctx: LaunchContext) -> DeviceError | None:
         """Return the fault this attempt suffers under the plan, if any."""
         for trigger in self.triggers:
-            err = trigger.check(ctx, self._rng)
+            err = trigger.check(ctx, self.stream(trigger, ctx.device_name))
             if err is not None:
                 self.events.append(
                     FaultEvent(

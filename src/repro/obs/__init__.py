@@ -22,6 +22,7 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    QuantileSketch,
 )
 from .export import chrome_trace_events, chrome_trace_json, render_trace_text
 
@@ -38,6 +39,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "QuantileSketch",
     "chrome_trace_events",
     "chrome_trace_json",
     "render_trace_text",

@@ -22,6 +22,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "QuantileSketch",
 ]
 
 #: Upper bounds (|log10(predicted/observed)|) for the prediction-error
@@ -86,6 +87,100 @@ class Histogram:
         self.counts[-1] += 1
 
 
+class QuantileSketch:
+    """Deterministic streaming quantiles (p50/p95/p99) over quantized values.
+
+    Observations are quantized to ``significant_digits`` significant
+    figures and counted in a value→count map, so the sketch is
+
+    * **streaming** — O(1) per observation, memory bounded by the number
+      of *distinct* quantized values (tiny for the repeated simulated
+      quantities this repository measures);
+    * **deterministic** — no sampling; two identical observation
+      sequences (in any order) produce identical sketches and identical
+      quantiles, which is what lets replay reports be byte-reproducible;
+    * **exact on its quantized domain** — ``quantile(q)`` is the
+      nearest-rank quantile of the quantized multiset (rank
+      ``ceil(q * count)``), not an approximation scheme with drifting
+      error bounds.
+
+    Non-finite observations are counted separately (``nonfinite``) and
+    excluded from the quantiles, so one failed launch cannot poison a
+    percentile gate — gates check ``nonfinite == 0`` explicitly instead.
+    """
+
+    __slots__ = ("significant_digits", "counts", "count", "nonfinite")
+
+    def __init__(self, significant_digits: int = 6):
+        if significant_digits < 1:
+            raise ValueError("need at least one significant digit")
+        self.significant_digits = significant_digits
+        self.counts: dict[float, int] = {}
+        self.count = 0
+        self.nonfinite = 0
+
+    def _quantize(self, value: float) -> float:
+        return float(f"%.{self.significant_digits}g" % value)
+
+    def observe(self, value: float) -> None:
+        if not math.isfinite(value):
+            self.nonfinite += 1
+            return
+        q = self._quantize(value)
+        self.counts[q] = self.counts.get(q, 0) + 1
+        self.count += 1
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile of the quantized observations (NaN if empty)."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q}")
+        if self.count == 0:
+            return math.nan
+        rank = max(1, math.ceil(q * self.count))
+        seen = 0
+        for value in sorted(self.counts):
+            seen += self.counts[value]
+            if seen >= rank:
+                return value
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    @property
+    def sum(self) -> float:
+        """Total of the quantized observations.
+
+        Recomputed from the counts in sorted-value order, so it is
+        order-independent: merging worker sketches in any order yields
+        the same sum to the last bit.
+        """
+        return math.fsum(
+            value * count for value, count in sorted(self.counts.items())
+        )
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    def merge(self, other: "QuantileSketch") -> None:
+        """Fold another sketch in (order-independent, exact counts)."""
+        if other.significant_digits != self.significant_digits:
+            raise ValueError(
+                f"cannot merge sketches with {other.significant_digits} vs "
+                f"{self.significant_digits} significant digits"
+            )
+        for value, count in other.counts.items():
+            self.counts[value] = self.counts.get(value, 0) + count
+        self.count += other.count
+        self.nonfinite += other.nonfinite
+
+
 def _key(name: str, labels: dict) -> str:
     if not labels:
         return name
@@ -100,6 +195,7 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._quantiles: dict[str, QuantileSketch] = {}
 
     def counter(self, name: str, **labels) -> Counter:
         key = _key(name, labels)
@@ -121,6 +217,17 @@ class MetricsRegistry:
         if inst is None:
             inst = self._histograms[key] = Histogram(
                 DEFAULT_LOG_ERROR_BUCKETS if buckets is None else buckets
+            )
+        return inst
+
+    def quantiles(
+        self, name: str, significant_digits: int | None = None, **labels
+    ) -> QuantileSketch:
+        key = _key(name, labels)
+        inst = self._quantiles.get(key)
+        if inst is None:
+            inst = self._quantiles[key] = QuantileSketch(
+                6 if significant_digits is None else significant_digits
             )
         return inst
 
@@ -168,6 +275,23 @@ class MetricsRegistry:
             hist.counts[-1] += buckets["le_inf"]
             hist.count += payload["count"]
             hist.sum += payload["sum"]
+        for key, payload in snap.get("quantiles", {}).items():
+            sketch = self._quantiles.get(key)
+            if sketch is None:
+                sketch = self._quantiles[key] = QuantileSketch(
+                    payload["significant_digits"]
+                )
+            elif sketch.significant_digits != payload["significant_digits"]:
+                raise ValueError(
+                    f"quantile sketch {key!r}: cannot merge "
+                    f"{payload['significant_digits']} significant digits "
+                    f"into {sketch.significant_digits}"
+                )
+            for value, count in payload["counts"].items():
+                v = float(value)
+                sketch.counts[v] = sketch.counts.get(v, 0) + count
+            sketch.count += payload["count"]
+            sketch.nonfinite += payload["nonfinite"]
 
     def snapshot(self) -> dict:
         """Deterministic plain-dict dump (sorted keys, JSON-safe values)."""
@@ -183,13 +307,28 @@ class MetricsRegistry:
                 "sum": h.sum,
                 "buckets": bucket_counts,
             }
+        sketches = {}
+        for key in sorted(self._quantiles):
+            s = self._quantiles[key]
+            sketches[key] = {
+                "count": s.count,
+                "nonfinite": s.nonfinite,
+                "significant_digits": s.significant_digits,
+                "counts": {repr(v): s.counts[v] for v in sorted(s.counts)},
+            }
         return {
             "counters": {
                 k: self._counters[k].value for k in sorted(self._counters)
             },
             "gauges": {k: self._gauges[k].value for k in sorted(self._gauges)},
             "histograms": hists,
+            "quantiles": sketches,
         }
 
     def __len__(self) -> int:
-        return len(self._counters) + len(self._gauges) + len(self._histograms)
+        return (
+            len(self._counters)
+            + len(self._gauges)
+            + len(self._histograms)
+            + len(self._quantiles)
+        )

@@ -1,0 +1,55 @@
+"""Traffic-scale scenario replay: seeded workload generation, chaos
+schedules, bounded admission control, and recovery scoring.
+
+The experiments sweep the paper's kernel grid uniformly; this package
+asks the production question instead — what does the selector do under
+six hours of *traffic*?  A seeded :class:`WorkloadConfig` generates a
+Zipf-popularity, bursty-arrival, mixed-size request trace on the
+simulated clock; a :class:`ChaosSchedule` opens fault storms, device
+brownouts, link degradation and genuine mid-stream hardware drift over
+simulated-time windows; an :class:`AdmissionQueue` bounds the dispatch
+backlog with reject / degrade-to-host / defer overload policies; and
+:func:`score_run` reduces the whole run to steady-state selection
+accuracy, dispatch-overhead tails, time-to-detect / time-to-recover per
+window, and shed/degraded fractions.  See docs/ROBUSTNESS.md.
+"""
+
+from .admission import ADMISSION_POLICIES, AdmissionConfig, AdmissionQueue
+from .chaos import CHAOS_KINDS, ChaosSchedule, ChaosWindow
+from .engine import (
+    MemoizedPolicy,
+    ReplayConfig,
+    ReplayEngine,
+    ReplayOutcome,
+    ReplayRun,
+)
+from .score import ReplayScore, WindowScore, score_run
+from .workload import (
+    CaseSpec,
+    LaunchRequest,
+    WorkloadConfig,
+    build_catalog,
+    generate_requests,
+)
+
+__all__ = [
+    "ADMISSION_POLICIES",
+    "AdmissionConfig",
+    "AdmissionQueue",
+    "CHAOS_KINDS",
+    "CaseSpec",
+    "ChaosSchedule",
+    "ChaosWindow",
+    "LaunchRequest",
+    "MemoizedPolicy",
+    "ReplayConfig",
+    "ReplayEngine",
+    "ReplayOutcome",
+    "ReplayRun",
+    "ReplayScore",
+    "WindowScore",
+    "WorkloadConfig",
+    "build_catalog",
+    "generate_requests",
+    "score_run",
+]

@@ -1,0 +1,259 @@
+"""Scoring a replay run: selection accuracy, dispatch-overhead tails,
+detection/recovery latency per chaos window, graceful-degradation
+accounting.
+
+Two accuracy views are reported:
+
+* **overall** — oracle-match rate over every full-path launch of the
+  trace (degraded/shed requests never made a model decision and are
+  excluded by construction);
+* **steady-state** — the same rate restricted to launches whose service
+  started *outside* every chaos window plus its trailing recovery
+  margin.  This is the number the acceptance gate compares against the
+  no-chaos baseline: chaos must not leak into the calm stretches.
+
+Per fault-flavoured chaos window the scorer extracts
+
+* **time-to-detect (TTD)** — first defensive reaction (a fault event, a
+  fallback, or a drift transition) at/after the window opens, minus the
+  open time;
+* **time-to-recover (TTR)** — first clean accelerator launch (GPU
+  target, no faults, no fallback) at/after the window closes, minus the
+  close time.
+
+For ``hw-drift`` windows the sentinel's own timestamped transition log
+provides both edges: TTD is the first ``→ DRIFTED`` transition inside
+the window, TTR the first return to CALIBRATED after it closes.  All
+times are simulated seconds — a replay scored twice yields the same
+bytes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..drift import DriftState
+from ..obs import QuantileSketch
+from .chaos import ChaosWindow
+from .engine import ReplayRun
+
+__all__ = ["WindowScore", "ReplayScore", "score_run"]
+
+
+@dataclass(frozen=True)
+class WindowScore:
+    """Detection + recovery latency for one chaos window."""
+
+    window: str
+    kind: str
+    start_s: float
+    stop_s: float
+    ttd_s: float | None  # None = never detected
+    ttr_s: float | None  # None = never recovered
+
+    @property
+    def detected(self) -> bool:
+        return self.ttd_s is not None
+
+    @property
+    def recovered(self) -> bool:
+        return self.ttr_s is not None
+
+
+@dataclass(frozen=True)
+class ReplayScore:
+    """One replay run, reduced to its gateable numbers."""
+
+    launches: int  # full-path launches (admitted + resumed)
+    requests: int  # trace length
+    horizon_s: float
+    overall_accuracy: float
+    steady_accuracy: float
+    steady_launches: int
+    overhead_p50_s: float
+    overhead_p99_s: float
+    overhead_nonfinite: int
+    shed_fraction: float
+    degraded_fraction: float
+    deferred: int
+    resumed: int
+    max_queue_depth: int
+    max_wait_s: float
+    fallbacks: int
+    fault_events: int
+    windows: tuple[WindowScore, ...]
+
+    def window(self, name: str) -> WindowScore:
+        for w in self.windows:
+            if w.window == name:
+                return w
+        raise KeyError(name)
+
+    def to_payload(self) -> dict:
+        """JSON-safe dump (NaN-free: absent latencies become None)."""
+        return {
+            "launches": self.launches,
+            "requests": self.requests,
+            "horizon_s": self.horizon_s,
+            "overall_accuracy": self.overall_accuracy,
+            "steady_accuracy": self.steady_accuracy,
+            "steady_launches": self.steady_launches,
+            "overhead_p50_s": self.overhead_p50_s,
+            "overhead_p99_s": self.overhead_p99_s,
+            "overhead_nonfinite": self.overhead_nonfinite,
+            "shed_fraction": self.shed_fraction,
+            "degraded_fraction": self.degraded_fraction,
+            "deferred": self.deferred,
+            "resumed": self.resumed,
+            "max_queue_depth": self.max_queue_depth,
+            "max_wait_s": self.max_wait_s,
+            "fallbacks": self.fallbacks,
+            "fault_events": self.fault_events,
+            "windows": [
+                {
+                    "window": w.window,
+                    "kind": w.kind,
+                    "start_s": w.start_s,
+                    "stop_s": w.stop_s,
+                    "ttd_s": w.ttd_s,
+                    "ttr_s": w.ttr_s,
+                }
+                for w in self.windows
+            ],
+        }
+
+
+def _decision_correct(record) -> bool:
+    # LaunchRecord and MultiLaunchRecord both expose decision_correct
+    return record.decision_correct
+
+
+def _is_clean_gpu(record) -> bool:
+    if record.fault_events or record.fallback is not None:
+        return False
+    target = getattr(record, "target", None)
+    if target is not None:
+        return target == "gpu"
+    # multi-device: executed on a non-host device
+    executed = record.executed_device or record.chosen
+    return record.outcome_of(executed).kind == "gpu"
+
+
+def _fault_window_latencies(
+    run: ReplayRun, window: ChaosWindow
+) -> tuple[float | None, float | None]:
+    ttd = None
+    ttr = None
+    for o in run.outcomes:
+        if o.record is None or o.start_s is None:
+            continue
+        if ttd is None and window.start_s <= o.start_s < window.stop_s:
+            r = o.record
+            if r.fault_events or r.fallback is not None:
+                ttd = o.start_s - window.start_s
+        if ttr is None and o.start_s >= window.stop_s and _is_clean_gpu(o.record):
+            ttr = o.start_s - window.stop_s
+        if ttd is not None and ttr is not None:
+            break
+    return ttd, ttr
+
+
+def _drift_window_latencies(
+    run: ReplayRun, window: ChaosWindow
+) -> tuple[float | None, float | None]:
+    sentinel = run.sentinel
+    if sentinel is None:
+        return None, None
+    ttd = None
+    ttr = None
+    for t, _device, _region, _before, after in sentinel.transitions:
+        if (
+            ttd is None
+            and after is DriftState.DRIFTED
+            and window.start_s <= t
+        ):
+            ttd = t - window.start_s
+        if (
+            ttr is None
+            and after is DriftState.CALIBRATED
+            and t >= window.stop_s
+        ):
+            ttr = t - window.stop_s
+        if ttd is not None and ttr is not None:
+            break
+    return ttd, ttr
+
+
+def score_run(run: ReplayRun, *, recovery_margin_s: float = 0.0) -> ReplayScore:
+    """Reduce one run to its gateable numbers.
+
+    ``recovery_margin_s`` extends every chaos window when carving out
+    the steady-state accuracy view: launches started inside
+    ``[start, stop + margin)`` are excluded, so transient post-window
+    healing (breaker half-open probes, health-penalty decay, sentinel
+    re-promotion) does not count against the steady state it is busy
+    restoring.
+    """
+    windows = run.config.chaos.windows
+    full_path = [
+        o for o in run.outcomes if o.record is not None and o.outcome != "degraded"
+    ]
+
+    def in_any_window(start_s: float) -> bool:
+        return any(
+            w.start_s <= start_s < w.stop_s + recovery_margin_s for w in windows
+        )
+
+    correct = sum(1 for o in full_path if _decision_correct(o.record))
+    steady = [o for o in full_path if not in_any_window(o.start_s or 0.0)]
+    steady_correct = sum(1 for o in steady if _decision_correct(o.record))
+
+    overhead = QuantileSketch()
+    fallbacks = 0
+    fault_events = 0
+    for o in full_path:
+        overhead.observe(o.record.overhead_seconds)
+        if o.record.fallback is not None:
+            fallbacks += 1
+        fault_events += len(o.record.fault_events)
+
+    scored_windows = []
+    for w in windows:
+        if w.kind == "hw-drift":
+            ttd, ttr = _drift_window_latencies(run, w)
+        else:
+            ttd, ttr = _fault_window_latencies(run, w)
+        scored_windows.append(
+            WindowScore(
+                window=w.name,
+                kind=w.kind,
+                start_s=w.start_s,
+                stop_s=w.stop_s,
+                ttd_s=ttd,
+                ttr_s=ttr,
+            )
+        )
+
+    requests = len(run.requests)
+    q = run.queue
+    return ReplayScore(
+        launches=len(full_path),
+        requests=requests,
+        horizon_s=run.horizon_s,
+        overall_accuracy=(correct / len(full_path)) if full_path else math.nan,
+        steady_accuracy=(steady_correct / len(steady)) if steady else math.nan,
+        steady_launches=len(steady),
+        overhead_p50_s=overhead.p50,
+        overhead_p99_s=overhead.p99,
+        overhead_nonfinite=overhead.nonfinite,
+        shed_fraction=(q.shed / requests) if requests else 0.0,
+        degraded_fraction=(q.degraded / requests) if requests else 0.0,
+        deferred=q.deferred,
+        resumed=q.resumed,
+        max_queue_depth=q.max_depth,
+        max_wait_s=q.max_wait_s,
+        fallbacks=fallbacks,
+        fault_events=fault_events,
+        windows=tuple(scored_windows),
+    )

@@ -23,10 +23,13 @@ from .policies import (
     Policy,
     policy_by_name,
 )
-from .framework import LaunchRecord, OffloadingRuntime
+from .framework import ADMISSION_DEGRADED, LaunchRecord, OffloadingRuntime
+from .memo import ExecutionMemo
 from .multi import DeviceOutcome, MultiDeviceRuntime, MultiLaunchRecord
 
 __all__ = [
+    "ADMISSION_DEGRADED",
+    "ExecutionMemo",
     "DeviceOutcome",
     "MultiDeviceRuntime",
     "MultiLaunchRecord",

@@ -45,7 +45,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Callable, Mapping
 
 from ..analysis import ProgramAttributeDatabase, RegionAttributes
 from ..drift import DriftDecision, DriftSentinel, SelfHealingSelector, Watchdog
@@ -69,10 +69,15 @@ from ..lint.gate import FALLBACK_LINT, GateDecision, LintGate, LintGateError
 from ..machines import Platform
 from ..models import SelectionPrediction
 from ..obs import NULL_TRACER, MetricsRegistry, NullTracer, Tracer
-from .device import AcceleratorDevice, ExecutionRecord, HostDevice
+from .device import AcceleratorDevice, HostDevice
+from .memo import ExecutionMemo
 from .policies import ModelGuided, Policy
 
-__all__ = ["LaunchRecord", "OffloadingRuntime"]
+__all__ = ["ADMISSION_DEGRADED", "LaunchRecord", "OffloadingRuntime"]
+
+#: Admission provenance stamped on launches degraded to the host by an
+#: admission controller (``launch(..., force_target="cpu")``).
+ADMISSION_DEGRADED = "degraded-to-host"
 
 
 @dataclass(frozen=True)
@@ -98,6 +103,7 @@ class LaunchRecord:
     overhead_seconds: float = 0.0  # simulated retry backoff
     lint: GateDecision | None = None  # gate verdict (None = clean or no gate)
     drift: DriftDecision | None = None  # sentinel verdict (None = calibrated)
+    admission: str | None = None  # admission-control provenance (None = full path)
 
     @property
     def true_speedup(self) -> float:
@@ -159,6 +165,21 @@ class OffloadingRuntime:
     health_decay_halflife_s: float | None = None  # simulated-time penalty decay
     tracer: Tracer | NullTracer = NULL_TRACER  # off by default (records nothing)
     metrics: MetricsRegistry | None = None
+    #: optional per-(region, env) cache of the deterministic launch inputs
+    #: (simulated times, bindings, footprints); same values, so records
+    #: stay bit-identical — the replay engine's 10⁵-launch fast path
+    memo: ExecutionMemo | None = None
+    #: optional per-launch time dilation: called with the device kind
+    #: ("cpu"/"gpu"), returns a multiplier for that device's simulated
+    #: seconds this launch.  The chaos hook for mid-stream hardware drift;
+    #: None (the default) leaves every launch untouched.
+    time_dilation: Callable[[str], float] | None = None
+    #: key drift-sentinel streams by (region, env) instead of region
+    #: alone.  A mixed-dataset-size workload replayed through one stream
+    #: makes every size change look like a residual shift; per-case
+    #: streams keep a stable workload CALIBRATED.  Off by default (the
+    #: historical keying the drift experiment and its tests pin).
+    sentinel_stream_by_env: bool = False
 
     def __post_init__(self):
         self._host = HostDevice(self.platform.host, num_threads=self.num_threads)
@@ -166,6 +187,8 @@ class OffloadingRuntime:
         self.clock = SimulatedClock()
         if self.tracer.enabled and self.tracer.clock is None:
             self.tracer.clock = self.clock  # span timestamps follow this runtime
+        if self.sentinel is not None and self.sentinel.clock is None:
+            self.sentinel.clock = self.clock  # drift transitions get timestamps
         self.health = DeviceHealth(
             self._accel.name,
             clock=self.clock,
@@ -183,13 +206,35 @@ class OffloadingRuntime:
             return self.db.compile_region(region)
 
     # -- run time -------------------------------------------------------------
-    def launch(self, region_name: str, env: Mapping[str, int]) -> LaunchRecord:
-        """Reach a target region with runtime values and dispatch it."""
+    def launch(
+        self,
+        region_name: str,
+        env: Mapping[str, int],
+        *,
+        force_target: str | None = None,
+    ) -> LaunchRecord:
+        """Reach a target region with runtime values and dispatch it.
+
+        ``force_target="cpu"`` is the admission controller's degrade hook:
+        the launch runs on the host immediately, skipping prediction and
+        accelerator dispatch entirely (that cost is exactly what overload
+        shedding exists to avoid); the record carries
+        ``admission=ADMISSION_DEGRADED``.  The default ``None`` takes the
+        full path and leaves the record bit-identical to a runtime without
+        admission control.
+        """
+        if force_target not in (None, "cpu"):
+            raise ValueError(
+                f"force_target must be None or 'cpu', got {force_target!r}"
+            )
         tracer = self.tracer
         with tracer.activate(), tracer.span(
             "launch", region=region_name, policy=self.policy.name
         ) as span:
-            record = self._launch(region_name, env, tracer)
+            if force_target == "cpu":
+                record = self._launch_degraded(region_name, env)
+            else:
+                record = self._launch(region_name, env, tracer)
             if tracer.enabled:
                 span.set("target", record.target)
                 if record.fallback is not None:
@@ -198,6 +243,50 @@ class OffloadingRuntime:
             self._record_metrics(record)
         return record
 
+    def _sentinel_key(self, region_name: str, env: Mapping[str, int]) -> str:
+        """The drift-stream key for one launch (see sentinel_stream_by_env)."""
+        if not self.sentinel_stream_by_env:
+            return region_name
+        sizes = ",".join(f"{k}={env[k]}" for k in sorted(env))
+        return f"{region_name}@{sizes}"
+
+    def _measure(self, attrs, env: Mapping[str, int]) -> tuple[float, float]:
+        """Simulated (cpu, gpu) seconds for this launch.
+
+        Memoized per (region, env) when a memo is attached (the values
+        are deterministic, so the cache is invisible in the records), and
+        scaled by the chaos time-dilation hook when one is active.
+        """
+        if self.memo is not None:
+            cpu_rec = self.memo.execution(self._host, attrs, env)
+            gpu_rec = self.memo.execution(self._accel, attrs, env)
+        else:
+            cpu_rec = self._host.execute(attrs.region, env)
+            gpu_rec = self._accel.execute(attrs.region, env)
+        cpu_seconds, gpu_seconds = cpu_rec.seconds, gpu_rec.seconds
+        if self.time_dilation is not None:
+            cpu_seconds *= self.time_dilation("cpu")
+            gpu_seconds *= self.time_dilation("gpu")
+        return cpu_seconds, gpu_seconds
+
+    def _launch_degraded(
+        self, region_name: str, env: Mapping[str, int]
+    ) -> LaunchRecord:
+        """The admission-degraded path: straight to the host, no models."""
+        attrs = self.db.lookup(region_name)
+        cpu_seconds, gpu_seconds = self._measure(attrs, env)
+        return LaunchRecord(
+            region_name=region_name,
+            target="cpu",
+            policy_name=self.policy.name,
+            prediction=None,
+            cpu_seconds=cpu_seconds,
+            gpu_seconds=gpu_seconds,
+            executed_seconds=cpu_seconds,
+            requested_target="cpu",
+            admission=ADMISSION_DEGRADED,
+        )
+
     def _launch(
         self,
         region_name: str,
@@ -205,10 +294,11 @@ class OffloadingRuntime:
         tracer: Tracer | NullTracer,
     ) -> LaunchRecord:
         attrs = self.db.lookup(region_name)
-        bound = attrs.bind(env)
+        bound = (
+            self.memo.bound(attrs, env) if self.memo is not None else attrs.bind(env)
+        )
 
-        cpu_rec: ExecutionRecord = self._host.execute(attrs.region, env)
-        gpu_rec: ExecutionRecord = self._accel.execute(attrs.region, env)
+        cpu_seconds, gpu_seconds = self._measure(attrs, env)
 
         with tracer.span(
             "predict", region=region_name, policy=self.policy.name
@@ -217,15 +307,17 @@ class OffloadingRuntime:
                 bound,
                 self.platform,
                 num_threads=self.num_threads,
-                sim_cpu_seconds=cpu_rec.seconds,
-                sim_gpu_seconds=gpu_rec.seconds,
+                sim_cpu_seconds=cpu_seconds,
+                sim_gpu_seconds=gpu_seconds,
             )
             # Self-healing selection: when the sentinel has flagged a stream,
             # the healed pick *is* the request (the raw model pick survives in
             # the drift provenance).  None while everything is CALIBRATED.
             drift_decision: DriftDecision | None = None
             if self._healer is not None and prediction is not None:
-                drift_decision = self._healer.decide(region_name, prediction)
+                drift_decision = self._healer.decide(
+                    self._sentinel_key(region_name, env), prediction
+                )
                 if drift_decision is not None:
                     requested = drift_decision.target
             if tracer.enabled:
@@ -270,7 +362,11 @@ class OffloadingRuntime:
                     health=self.health,
                     device_name=self._accel.name,
                     launch_index=launch_index,
-                    footprint_bytes=region_footprint_bytes(attrs.region, env),
+                    footprint_bytes=(
+                        self.memo.footprint(attrs, env, region_footprint_bytes)
+                        if self.memo is not None
+                        else region_footprint_bytes(attrs.region, env)
+                    ),
                     memory_bytes=int(self._accel.gpu.mem_size_gib * 2**30),
                 )
                 self._accel_launches += 1
@@ -281,7 +377,7 @@ class OffloadingRuntime:
                     target, fallback = "cpu", result.reason
                 elif self.watchdog is not None and prediction is not None:
                     overrun = self._check_deadline(
-                        prediction, drift_decision, gpu_rec.seconds,
+                        prediction, drift_decision, gpu_seconds,
                         launch_index, attempts,
                     )
                     if overrun is not None:
@@ -309,21 +405,24 @@ class OffloadingRuntime:
                         attempt=ev.attempt,
                     )
 
-        executed = (cpu_rec.seconds if target == "cpu" else gpu_rec.seconds)
+        executed = (cpu_seconds if target == "cpu" else gpu_seconds)
         executed += overhead
         if self.sentinel is not None and prediction is not None:
             # post-mortem: both sides are simulated every launch, so both
             # streams learn regardless of where the region actually ran
             self._observe_sentinel(
-                region_name, prediction, cpu_rec.seconds, gpu_rec.seconds
+                self._sentinel_key(region_name, env),
+                prediction,
+                cpu_seconds,
+                gpu_seconds,
             )
         return LaunchRecord(
             region_name=region_name,
             target=target,
             policy_name=self.policy.name,
             prediction=prediction,
-            cpu_seconds=cpu_rec.seconds,
-            gpu_seconds=gpu_rec.seconds,
+            cpu_seconds=cpu_seconds,
+            gpu_seconds=gpu_seconds,
             executed_seconds=executed,
             requested_target=requested,
             attempts=attempts,
@@ -426,6 +525,11 @@ class OffloadingRuntime:
         """Fold one launch's outcome into the registry (observe-only)."""
         metrics = self.metrics
         metrics.counter("launches_total", device=record.target).inc()
+        metrics.quantiles("dispatch_overhead_seconds").observe(
+            record.overhead_seconds
+        )
+        if record.admission is not None:
+            metrics.counter("admission_total", outcome=record.admission).inc()
         if record.fallback is not None:
             metrics.counter("fallbacks_total", reason=record.fallback).inc()
         if record.attempts > 1:

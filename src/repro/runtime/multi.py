@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Callable, Mapping
 
 from ..analysis import ProgramAttributeDatabase
 from ..calibrate import fit_model_calibration
@@ -57,6 +57,8 @@ from ..machines import AcceleratorSlot, Platform
 from ..models import SelectionPrediction, predict_both
 from ..obs import NULL_TRACER, MetricsRegistry, NullTracer, Tracer
 from .device import AcceleratorDevice, HostDevice
+from .framework import ADMISSION_DEGRADED
+from .memo import ExecutionMemo
 
 __all__ = ["DeviceOutcome", "MultiLaunchRecord", "MultiDeviceRuntime"]
 
@@ -90,6 +92,7 @@ class MultiLaunchRecord:
     lint: GateDecision | None = None  # gate verdict (None = clean or no gate)
     #: (device_name, drift-state) pairs for streams not CALIBRATED
     drift: tuple[tuple[str, str], ...] | None = None
+    admission: str | None = None  # admission-control provenance (None = full path)
 
     def outcome_of(self, device_name: str) -> DeviceOutcome:
         for o in self.outcomes:
@@ -138,6 +141,15 @@ class MultiDeviceRuntime:
     health_decay_halflife_s: float | None = None  # simulated-time penalty decay
     tracer: Tracer | NullTracer = NULL_TRACER  # off by default (records nothing)
     metrics: MetricsRegistry | None = None
+    #: optional per-(region, env) cache of the deterministic launch inputs
+    #: (see OffloadingRuntime.memo) — bit-identical records, 10⁵-launch speed
+    memo: ExecutionMemo | None = None
+    #: optional chaos hook: kind ("cpu"/"gpu") -> simulated-time multiplier
+    time_dilation: Callable[[str], float] | None = None
+    #: key drift-sentinel streams by (region, env) instead of region alone,
+    #: so mixed dataset sizes never conflate into one residual stream.  Off
+    #: by default (the historical keying the drift experiment pins).
+    sentinel_stream_by_env: bool = False
 
     def __post_init__(self):
         if not self.platform.accelerators:
@@ -160,6 +172,8 @@ class MultiDeviceRuntime:
         self._accel_launches = {dev.name: 0 for dev in self._accels}
         if self.tracer.enabled and self.tracer.clock is None:
             self.tracer.clock = self.clock  # span timestamps follow this runtime
+        if self.sentinel is not None and self.sentinel.clock is None:
+            self.sentinel.clock = self.clock  # drift transitions get timestamps
 
     def compile_region(self, region: Region):
         with self.tracer.activate():
@@ -184,6 +198,13 @@ class MultiDeviceRuntime:
             num_threads=self.num_threads,
             calibration=self._calibrations[view.name],
         )
+
+    def _sentinel_key(self, region_name: str, env: Mapping[str, int]) -> str:
+        """The drift-stream key for one launch (see sentinel_stream_by_env)."""
+        if not self.sentinel_stream_by_env:
+            return region_name
+        sizes = ",".join(f"{k}={env[k]}" for k in sorted(env))
+        return f"{region_name}@{sizes}"
 
     def _effective_predicted(
         self, outcome: DeviceOutcome, region_name: str | None = None
@@ -223,6 +244,12 @@ class MultiDeviceRuntime:
         events: list[FaultEvent] = []
         overhead = 0.0
         reason: str | None = None
+        attrs = self.db.lookup(region.name)
+        footprint_bytes = (
+            self.memo.footprint(attrs, env, region_footprint_bytes)
+            if self.memo is not None
+            else region_footprint_bytes(region, env)
+        )
         for cand in candidates:
             if cand.kind == "cpu":
                 return cand.device_name, attempts, tuple(events), overhead, reason
@@ -240,7 +267,7 @@ class MultiDeviceRuntime:
                 health=health,
                 device_name=cand.device_name,
                 launch_index=index,
-                footprint_bytes=region_footprint_bytes(region, env),
+                footprint_bytes=footprint_bytes,
                 memory_bytes=int(gpu.gpu.mem_size_gib * 2**30),
             )
             attempts += result.attempts
@@ -251,13 +278,61 @@ class MultiDeviceRuntime:
             reason = result.reason
         raise AssertionError("host candidate must terminate the chain")
 
-    def launch(self, region_name: str, env: Mapping[str, int]) -> MultiLaunchRecord:
-        """Predict every candidate device, dispatch to the best that works."""
+    def _measure(self, device, attrs, env: Mapping[str, int]) -> float:
+        """One device's simulated seconds, memoized and dilation-scaled."""
+        if self.memo is not None:
+            seconds = self.memo.execution(device, attrs, env).seconds
+        else:
+            seconds = device.execute(attrs.region, env).seconds
+        if self.time_dilation is not None:
+            seconds *= self.time_dilation(device.kind)
+        return seconds
+
+    def _launch_degraded(
+        self, region_name: str, env: Mapping[str, int]
+    ) -> MultiLaunchRecord:
+        """The admission-degraded path: straight to the host, no models."""
+        attrs = self.db.lookup(region_name)
+        host_seconds = self._measure(self._host, attrs, env)
+        outcome = DeviceOutcome(
+            device_name=self._host.name,
+            kind="cpu",
+            predicted_seconds=math.nan,
+            measured_seconds=host_seconds,
+        )
+        return MultiLaunchRecord(
+            region_name=region_name,
+            outcomes=(outcome,),
+            chosen=self._host.name,
+            admission=ADMISSION_DEGRADED,
+        )
+
+    def launch(
+        self,
+        region_name: str,
+        env: Mapping[str, int],
+        *,
+        force_target: str | None = None,
+    ) -> MultiLaunchRecord:
+        """Predict every candidate device, dispatch to the best that works.
+
+        ``force_target="cpu"`` is the admission controller's degrade hook,
+        exactly as on :class:`~repro.runtime.OffloadingRuntime`: the host
+        runs the region immediately, no models are evaluated, and the
+        record carries ``admission=ADMISSION_DEGRADED``.
+        """
+        if force_target not in (None, "cpu"):
+            raise ValueError(
+                f"force_target must be None or 'cpu', got {force_target!r}"
+            )
         tracer = self.tracer
         with tracer.activate(), tracer.span(
             "launch", region=region_name, devices=1 + len(self._accels)
         ) as span:
-            record = self._launch(region_name, env, tracer)
+            if force_target == "cpu":
+                record = self._launch_degraded(region_name, env)
+            else:
+                record = self._launch(region_name, env, tracer)
             if tracer.enabled:
                 span.set("chosen", record.chosen)
                 span.set("executed", record.executed_device or record.chosen)
@@ -274,10 +349,13 @@ class MultiDeviceRuntime:
         tracer: Tracer | NullTracer,
     ) -> MultiLaunchRecord:
         attrs = self.db.lookup(region_name)
-        bound = attrs.bind(env)
+        skey = self._sentinel_key(region_name, env)
+        bound = (
+            self.memo.bound(attrs, env) if self.memo is not None else attrs.bind(env)
+        )
 
         outcomes: list[DeviceOutcome] = []
-        host_rec = self._host.execute(attrs.region, env)
+        host_seconds = self._measure(self._host, attrs, env)
         host_pred = None
         for slot, dev in zip(self.platform.accelerators, self._accels):
             with tracer.span(
@@ -294,16 +372,15 @@ class MultiDeviceRuntime:
                         device_name=self._host.name,
                         kind="cpu",
                         predicted_seconds=pred.cpu.seconds,
-                        measured_seconds=host_rec.seconds,
+                        measured_seconds=host_seconds,
                     )
                 )
-            measured = dev.execute(attrs.region, env)
             outcomes.append(
                 DeviceOutcome(
                     device_name=dev.name,
                     kind="gpu",
                     predicted_seconds=pred.gpu.seconds,
-                    measured_seconds=measured.seconds,
+                    measured_seconds=self._measure(dev, attrs, env),
                 )
             )
 
@@ -315,7 +392,7 @@ class MultiDeviceRuntime:
         # is always a candidate so the pool is never empty).  Fault-free
         # and fully calibrated this is the plain prediction argmin.
         def effective(o: DeviceOutcome) -> float:
-            return self._effective_predicted(o, region_name)
+            return self._effective_predicted(o, skey)
 
         selectable = [
             o
@@ -351,7 +428,7 @@ class MultiDeviceRuntime:
                     executed_device=host.device_name,
                     fallback=FALLBACK_LINT,
                     lint=lint_decision,
-                    drift=self._observe_outcomes(region_name, outcomes),
+                    drift=self._observe_outcomes(skey, outcomes),
                 )
 
             # Dispatch order: chosen first, then the remaining candidates by
@@ -377,7 +454,7 @@ class MultiDeviceRuntime:
             ):
                 predicted = executed_outcome.predicted_seconds
                 if self.sentinel is not None:
-                    predicted *= self.sentinel.correction(executed, region_name)
+                    predicted *= self.sentinel.correction(executed, skey)
                 deadline = self.watchdog.deadline(predicted)
                 if executed_outcome.measured_seconds > deadline:
                     err = DeadlineExceeded(
@@ -426,7 +503,7 @@ class MultiDeviceRuntime:
                 fallback=fallback,
                 overhead_seconds=overhead,
                 lint=lint_decision,
-                drift=self._observe_outcomes(region_name, outcomes),
+                drift=self._observe_outcomes(skey, outcomes),
             )
 
     # -- observability ------------------------------------------------------
@@ -435,6 +512,11 @@ class MultiDeviceRuntime:
         metrics = self.metrics
         executed = record.executed_device or record.chosen
         metrics.counter("launches_total", device=executed).inc()
+        metrics.quantiles("dispatch_overhead_seconds").observe(
+            record.overhead_seconds
+        )
+        if record.admission is not None:
+            metrics.counter("admission_total", outcome=record.admission).inc()
         if record.fallback is not None:
             metrics.counter("fallbacks_total", reason=record.fallback).inc()
         if record.attempts > 1:

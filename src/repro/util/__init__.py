@@ -1,10 +1,13 @@
 """Shared utilities: statistics, report formatting and CLI output."""
 
 from .output import OUTPUT_FORMATS, add_format_argument, emit_json, emit_rows
+from .rng import derive_rng, derive_seed
 from .stats import correlation, geomean, mean_absolute_log_error, summarize_ratio
 from .tables import render_kv, render_table
 
 __all__ = [
+    "derive_rng",
+    "derive_seed",
     "correlation",
     "geomean",
     "mean_absolute_log_error",

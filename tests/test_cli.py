@@ -156,3 +156,80 @@ class TestTraceCommand:
         assert main(["trace", "gemm", "--format", "json", "-o", str(out)]) == 0
         assert "wrote json trace" in capsys.readouterr().out
         assert json.loads(out.read_text())["traceEvents"]
+
+
+class TestReplayCommand:
+    def test_replay_defaults(self):
+        args = build_parser().parse_args(["replay"])
+        assert args.platform == "p9-v100"
+        assert args.launches == 20_000
+        assert args.seed == 0
+        assert args.capacity == 32
+        assert args.utilization == 0.6
+        assert args.overload_utilization == 3.0
+        assert args.tiny is False
+        assert args.scenarios is None
+        assert args.output is None
+        assert args.format == "text"
+
+    def test_replay_bad_format_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["replay", "--format", "xml"])
+
+    def test_replay_runs_and_reports_json(self, capsys, tmp_path):
+        out = tmp_path / "replay.json"
+        assert main([
+            "replay", "--launches", "600", "--format", "json", "-o", str(out),
+            "--scenarios", "steady,fault-storm,overload-defer",
+        ]) == 0
+        assert "wrote replay json report" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["passed"] is True
+        assert payload["launches"] == 600
+        scenarios = [row["scenario"] for row in payload["rows"]]
+        assert scenarios == ["steady", "fault-storm", "overload-defer"]
+
+    def test_replay_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            main(["replay", "--launches", "200", "--scenarios", "steady,nope"])
+
+
+class TestSelfCheckExitCodes:
+    """Every subcommand with a self-check must exit non-zero on failure."""
+
+    class _Fake:
+        passed = False
+
+        def render(self):
+            return "fake report"
+
+        def chrome_json(self):
+            return "{}"
+
+        def to_payload(self):
+            return {"passed": False}
+
+    def test_faults_artefact_fails_loud(self, monkeypatch, capsys):
+        import repro.experiments as ex
+
+        monkeypatch.setattr(ex, "run_faults", lambda: self._Fake())
+        assert main(["faults"]) == 1
+        assert "self-check FAILED: faults" in capsys.readouterr().err
+
+    def test_trace_fails_loud(self, monkeypatch, capsys):
+        import repro.experiments as ex
+
+        monkeypatch.setattr(ex, "run_trace", lambda **kw: self._Fake())
+        assert main(["trace", "gemm"]) == 1
+
+    def test_replay_fails_loud(self, monkeypatch, capsys):
+        import repro.experiments as ex
+
+        monkeypatch.setattr(ex, "run_replay", lambda **kw: self._Fake())
+        assert main(["replay", "--tiny"]) == 1
+
+    def test_drift_fails_loud(self, monkeypatch, capsys):
+        import repro.experiments as ex
+
+        monkeypatch.setattr(ex, "run_drift", lambda **kw: self._Fake())
+        assert main(["drift"]) == 1

@@ -112,6 +112,61 @@ class TestInjector:
         assert region_footprint_bytes(gemm, ENV) == 3 * 512 * 512 * 4
 
 
+class TestStreamIsolation:
+    """Per-(stream label, device) RNG substreams survive plan composition."""
+
+    def test_flaky_transfer_golden_fault_pattern(self):
+        # pinned draw sequence: any change to the stream derivation
+        # scheme invalidates every golden fault sequence in the repo
+        inj = scenario_by_name("flaky-transfer", seed=7)
+        pattern = "".join(
+            "X" if inj.check(_ctx(i)) else "." for i in range(24)
+        )
+        assert pattern == ".X...X.........X...X...X"
+
+    def test_adding_a_labelled_trigger_preserves_existing_draws(self):
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class NeverFires(ProbabilisticFault):
+            # draws from its own substream on every check, never fires
+            stream_label: str = "never-fires"
+
+        base = FaultInjector(
+            [ProbabilisticFault(TransferError, probability=0.25)], seed=7
+        )
+        extended = FaultInjector(
+            [
+                NeverFires(TransferError, probability=0.0),
+                ProbabilisticFault(TransferError, probability=0.25),
+            ],
+            seed=7,
+        )
+        seq_a = [base.check(_ctx(i)) is not None for i in range(64)]
+        seq_b = [extended.check(_ctx(i)) is not None for i in range(64)]
+        assert seq_a == seq_b
+
+    def test_streams_isolated_per_device(self):
+        def k80_ctx(i):
+            return LaunchContext(
+                device_name="Tesla K80 via PCIe3",
+                kind="gpu",
+                launch_index=i,
+                attempt=1,
+                footprint_bytes=0,
+                memory_bytes=12 << 30,
+            )
+
+        solo = scenario_by_name("flaky-transfer", seed=7)
+        solo_seq = [solo.check(_ctx(i)) is not None for i in range(32)]
+        mixed = scenario_by_name("flaky-transfer", seed=7)
+        mixed_seq = []
+        for i in range(32):
+            mixed.check(k80_ctx(i))  # interleaved draws on another device
+            mixed_seq.append(mixed.check(_ctx(i)) is not None)
+        assert solo_seq == mixed_seq
+
+
 class TestCircuitBreaker:
     def test_open_half_open_close_transitions(self):
         br = CircuitBreaker(failure_threshold=2, cooldown_launches=3)
@@ -426,6 +481,21 @@ class TestHealthDecay:
         clock.now = 1.0  # simulated clock tampered with
         with pytest.raises(ValueError, match="monotonic"):
             health.penalty()
+
+    def test_long_gap_decays_penalty_to_unity(self):
+        from repro.faults import DeviceHealth, SimulatedClock
+
+        clock = SimulatedClock()
+        health = DeviceHealth("gpu0", clock=clock, decay_halflife_s=5.0)
+        for _ in range(3):
+            health.record_failure(self._err())
+        assert health.penalty() > 2.0
+        clock.advance(5.0 * 60)  # sixty half-lives of healthy silence
+        assert health.penalty() == pytest.approx(1.0, abs=1e-12)
+        # and the health machinery keeps working after the gap
+        health.record_success()
+        assert health.penalty() == pytest.approx(1.0, abs=1e-12)
+        assert health.successes == 1 and health.failures == 3
 
     def test_invalid_halflife_rejected(self):
         from repro.faults import DeviceHealth

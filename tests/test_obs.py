@@ -21,6 +21,7 @@ from repro.obs import (
     NULL_TRACER,
     Histogram,
     MetricsRegistry,
+    QuantileSketch,
     Tracer,
     chrome_trace_events,
     chrome_trace_json,
@@ -178,6 +179,116 @@ class TestMetrics:
         assert set(hist["buckets"]) == {
             f"le_{b:g}" for b in DEFAULT_LOG_ERROR_BUCKETS
         } | {"le_inf"}
+
+
+class TestQuantileSketch:
+    """Deterministic streaming quantiles (the replay overhead gates)."""
+
+    def test_exact_nearest_rank_quantiles(self):
+        s = QuantileSketch()
+        for v in range(1, 101):  # 1..100, exact under quantization
+            s.observe(float(v))
+        assert s.p50 == 50.0
+        assert s.p95 == 95.0
+        assert s.p99 == 99.0
+        assert s.quantile(1.0) == 100.0
+        assert s.count == 100
+        assert s.sum == pytest.approx(5050.0)
+
+    def test_single_observation_is_every_quantile(self):
+        s = QuantileSketch()
+        s.observe(0.25)
+        assert s.p50 == s.p95 == s.p99 == 0.25
+
+    def test_empty_quantiles_are_nan(self):
+        import math
+
+        assert math.isnan(QuantileSketch().p50)
+
+    def test_quantile_argument_validated(self):
+        s = QuantileSketch()
+        s.observe(1.0)
+        with pytest.raises(ValueError):
+            s.quantile(0.0)
+        with pytest.raises(ValueError):
+            s.quantile(1.5)
+        with pytest.raises(ValueError):
+            QuantileSketch(significant_digits=0)
+
+    def test_nonfinite_counted_separately(self):
+        import math
+
+        s = QuantileSketch()
+        s.observe(1.0)
+        s.observe(math.inf)
+        s.observe(math.nan)
+        assert s.count == 1 and s.nonfinite == 2
+        assert s.p99 == 1.0  # quantiles unpoisoned
+
+    def test_quantization_buckets_close_values(self):
+        s = QuantileSketch(significant_digits=2)
+        s.observe(0.1234)
+        s.observe(0.1243)  # same 2-sig-fig bucket
+        s.observe(0.13)
+        assert s.counts == {0.12: 2, 0.13: 1}
+
+    def test_order_independent_to_the_last_bit(self):
+        values = [0.37 * i + 1e-9 for i in range(200)]
+        a, b = QuantileSketch(), QuantileSketch()
+        for v in values:
+            a.observe(v)
+        for v in reversed(values):
+            b.observe(v)
+        assert a.counts == b.counts
+        assert a.sum == b.sum  # exact, not approx: fsum over sorted counts
+        assert a.p99 == b.p99
+
+    def test_merge_is_exact_and_validates_digits(self):
+        whole, left, right = (QuantileSketch() for _ in range(3))
+        for i in range(100):
+            whole.observe(float(i))
+            (left if i % 2 else right).observe(float(i))
+        left.merge(right)
+        assert left.counts == whole.counts
+        assert left.count == whole.count
+        assert left.p95 == whole.p95
+        with pytest.raises(ValueError):
+            left.merge(QuantileSketch(significant_digits=3))
+
+
+class TestRegistryQuantiles:
+    def test_get_or_create_and_snapshot_shape(self):
+        reg = MetricsRegistry()
+        sketch = reg.quantiles("dispatch_overhead_seconds")
+        assert reg.quantiles("dispatch_overhead_seconds") is sketch
+        sketch.observe(0.5)
+        sketch.observe(float("nan"))
+        snap = reg.snapshot()
+        entry = snap["quantiles"]["dispatch_overhead_seconds"]
+        assert entry["count"] == 1
+        assert entry["nonfinite"] == 1
+        assert entry["counts"] == {"0.5": 1}
+        assert len(reg) == 1
+
+    def test_merge_snapshot_folds_worker_sketches(self):
+        worker_a, worker_b, whole = (MetricsRegistry() for _ in range(3))
+        for i in range(50):
+            value = 0.001 * (i + 1)
+            whole.quantiles("lat").observe(value)
+            (worker_a if i % 2 else worker_b).quantiles("lat").observe(value)
+        merged = MetricsRegistry()
+        merged.merge_snapshot(worker_a.snapshot())
+        merged.merge_snapshot(worker_b.snapshot())
+        assert merged.quantiles("lat").counts == whole.quantiles("lat").counts
+        assert merged.quantiles("lat").p99 == whole.quantiles("lat").p99
+
+    def test_merge_snapshot_rejects_digit_mismatch(self):
+        coarse = MetricsRegistry()
+        coarse.quantiles("lat", significant_digits=2).observe(0.123)
+        fine = MetricsRegistry()
+        fine.quantiles("lat").observe(0.123)
+        with pytest.raises(ValueError):
+            fine.merge_snapshot(coarse.snapshot())
 
 
 class TestMergeSnapshot:
