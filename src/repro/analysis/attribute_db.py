@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from ..ir import Region, validate_region
+from ..ir.dataflow import RegionDataflow, analyze_transfers
 from ..ir.printer import region_to_text
 from ..ipda import BoundIPDA, IPDAResult, analyze_region
 from ..obs.tracer import current_tracer
@@ -34,6 +35,13 @@ class RegionAttributes:
     static_loadout: InstructionLoadout  # under the 128-iteration abstraction
     parallel_iterations: Expr
     required_symbols: frozenset[str]
+    #: array liveness / transfer-direction analysis (ir.dataflow); only
+    #: consulted when ``transfer_mode == "inferred"``
+    dataflow: RegionDataflow | None = None
+    #: "declared" prices transfers from the map clauses (the default,
+    #: bit-identical to the historical behaviour); "inferred" prices them
+    #: from the dataflow analysis (drops provably wasted directions)
+    transfer_mode: str = "declared"
 
     def bind(self, env: Mapping[str, int]) -> "BoundAttributes":
         """Complete the record with runtime values (Figure 2, runtime side).
@@ -52,7 +60,11 @@ class RegionAttributes:
             self.region, nest_trips(self.region, env, default=PAPER_LOOP_TRIPS)
         )
         bound_ipda = self.ipda.bind(env)
-        to_dev, to_host = self.region.transfer_bytes(env)
+        if self.transfer_mode == "inferred":
+            dataflow = self.dataflow or analyze_transfers(self.region)
+            to_dev, to_host = dataflow.transfer_bytes(env)
+        else:
+            to_dev, to_host = self.region.transfer_bytes(env)
         return BoundAttributes(
             attributes=self,
             env=dict(env),
@@ -61,6 +73,7 @@ class RegionAttributes:
             ipda=bound_ipda,
             bytes_to_device=to_dev,
             bytes_to_host=to_host,
+            transfer_mode=self.transfer_mode,
         )
 
 
@@ -75,6 +88,9 @@ class BoundAttributes:
     ipda: BoundIPDA
     bytes_to_device: int
     bytes_to_host: int
+    #: where the byte counts came from: "declared" map clauses or the
+    #: "inferred" dataflow directions
+    transfer_mode: str = "declared"
 
     @property
     def region(self) -> Region:
@@ -157,10 +173,17 @@ class ProgramAttributeDatabase:
 
     Keys are region names (standing in for the paper's "program and
     location" index).
+
+    ``inferred_transfers=True`` opts the database into pricing transfers
+    from the array-liveness dataflow analysis instead of the declared map
+    clauses: every record compiled here is stamped ``transfer_mode=
+    "inferred"`` and ``bind`` drops the provably wasted directions.  The
+    default (off) is bit-identical to the historical behaviour.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, inferred_transfers: bool = False) -> None:
         self._entries: dict[str, RegionAttributes] = {}
+        self.inferred_transfers = inferred_transfers
 
     def compile_region(self, region: Region) -> RegionAttributes:
         """Run all static analyses on a region and store the record."""
@@ -180,6 +203,10 @@ class ProgramAttributeDatabase:
                 static_loadout=static_loadout,
                 parallel_iterations=region.parallel_iterations(),
                 required_symbols=region.free_symbols(),
+                dataflow=analyze_transfers(region),
+                transfer_mode=(
+                    "inferred" if self.inferred_transfers else "declared"
+                ),
             )
         self._entries[region.name] = attrs
         return attrs

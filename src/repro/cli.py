@@ -8,6 +8,8 @@ Installed as ``repro-paper`` (see pyproject.toml), or run as
     repro-paper select gemm --mode benchmark --platform p9-v100
     repro-paper lint                   # lint every bundled kernel
     repro-paper lint syrk --format json
+    repro-paper lint --fail-on warning # treat MAP/PERF warnings as fatal
+    repro-paper transfers              # declared vs inferred transfer sizing
     repro-paper drift --launches 96    # drift sentinel scenario grid
     repro-paper replay --tiny          # traffic-replay chaos scenario grid
     repro-paper trace --format json -o trace.json   # Chrome trace of a sweep
@@ -156,7 +158,25 @@ def _cmd_lint(args) -> int:
         print(reports_to_json(reports))
     else:
         print(render_reports_text(reports))
+    if args.fail_on == "warning":
+        return 1 if any(len(r) for r in reports) else 0
     return 1 if any(r.has_errors for r in reports) else 0
+
+
+def _cmd_transfers(args) -> int:
+    from .experiments import run_transfers
+    from .util import emit_json
+
+    result = run_transfers(
+        platform=platform_by_name(args.platform),
+        mode=args.mode,
+        num_threads=args.threads,
+    )
+    if args.format == "json":
+        print(emit_json(result.to_payload()))
+    else:
+        print(result.render())
+    return 0 if result.passed else 1
 
 
 def _cmd_drift(args) -> int:
@@ -334,8 +354,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument("--platform", default="p9-v100")
     lint.add_argument("--mode", default="test", choices=("test", "benchmark"))
+    lint.add_argument(
+        "--fail-on",
+        choices=("error", "warning"),
+        default="error",
+        help=(
+            "minimum finding severity that fails the command "
+            "(default: error; 'warning' makes any finding fatal)"
+        ),
+    )
     add_format_argument(lint)
     lint.set_defaults(func=_cmd_lint)
+
+    xfers = sub.add_parser(
+        "transfers",
+        help=(
+            "compare declared vs dataflow-inferred transfer sizing "
+            "(exit 1 when the self-check fails)"
+        ),
+    )
+    xfers.add_argument("--platform", default="p9-v100")
+    xfers.add_argument("--mode", default="test", choices=("test", "benchmark"))
+    xfers.add_argument("--threads", type=int, default=None)
+    add_format_argument(xfers)
+    xfers.set_defaults(func=_cmd_transfers)
 
     drift = sub.add_parser(
         "drift",

@@ -34,6 +34,12 @@ from .replay import (
     run_replay,
 )
 from .trace import TraceResult, run_trace
+from .transfers import (
+    ScenarioOutcome,
+    SuiteTransferRow,
+    TransfersResult,
+    run_transfers,
+)
 from .summary import Claim, SummaryResult, run_summary
 from .crossgen import CrossGenResult, GENERATIONS, run_crossgen
 
@@ -60,6 +66,10 @@ __all__ = [
     "run_replay",
     "TraceResult",
     "run_trace",
+    "ScenarioOutcome",
+    "SuiteTransferRow",
+    "TransfersResult",
+    "run_transfers",
     "DriftResult",
     "DriftScore",
     "SkewScenario",

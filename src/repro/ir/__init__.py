@@ -28,7 +28,23 @@ from .nodes import (
     Un,
     VExpr,
 )
-from .region import Region, absv, cmp, expv, maxv, minv, select, sqrt
+from .region import (
+    Region,
+    absv,
+    cmp,
+    evaluate_transfer_bytes,
+    expv,
+    maxv,
+    minv,
+    select,
+    sqrt,
+)
+from .dataflow import (
+    ArrayDataflow,
+    Direction,
+    RegionDataflow,
+    analyze_transfers,
+)
 from .printer import region_to_text
 from .parser import ParseError, parse_index, parse_region
 from .validate import ValidationError, validate_region
@@ -66,6 +82,11 @@ __all__ = [
     "Un",
     "VExpr",
     "Region",
+    "ArrayDataflow",
+    "Direction",
+    "RegionDataflow",
+    "analyze_transfers",
+    "evaluate_transfer_bytes",
     "absv",
     "cmp",
     "expv",

@@ -1,0 +1,372 @@
+"""Array liveness / transfer-direction dataflow analysis.
+
+``Region.transfer_bytes`` prices host↔device movement purely from the
+*declared* ``is_input``/``is_output`` flags of each mapped array.  This
+module checks those declarations against what the kernel body actually
+does: for every array it walks the loop nest (via :func:`memory_accesses`)
+and classifies the array as
+
+``in``
+    read before any write — the host value is live into the region;
+``out``
+    written and the value escapes (declared device→host, or produced
+    without ever being consumed on the device);
+``inout``
+    at least one *exposed* read (a read that may observe the pre-region
+    value) plus at least one write;
+``temp``
+    written then read, with every read provably covered by an earlier
+    device-side write, and not declared live-out — device scratch that
+    needs no transfer in either direction;
+``dead``
+    mapped but never touched by the body;
+``unknown``
+    an access defeated the affine machinery — the analysis falls back to
+    the declared map.
+
+The classification is deliberately conservative: a read counts as
+*covered* only when an earlier unconditional write provably produced the
+value it observes, either element-wise in the same iteration context or
+via a preceding loop nest that overwrites the whole array (the
+mixed-radix contiguity argument in :func:`_covers_fully`).  Anything the
+analysis cannot prove degrades toward "the host value is needed", never
+toward dropping a required transfer.
+
+The products are symbolic per-direction byte bounds (``copy_in`` /
+``copy_out`` expressions) consumed by the opt-in ``inferred_transfers``
+mode of the attribute database and by the MAP lint passes
+(:mod:`repro.lint.dataflow`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..symbolic import Expr, as_expr
+from ..symbolic.affine import NonAffineError, decompose_affine
+from .nodes import Array, Loop, ReduceStore
+from .region import Region, evaluate_transfer_bytes
+from .visit import MemoryAccess, memory_accesses
+
+__all__ = [
+    "Direction",
+    "ArrayDataflow",
+    "RegionDataflow",
+    "analyze_transfers",
+]
+
+
+class Direction(enum.Enum):
+    """Inferred transfer direction of one mapped array."""
+
+    IN = "in"
+    OUT = "out"
+    INOUT = "inout"
+    TEMP = "temp"
+    DEAD = "dead"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class ArrayDataflow:
+    """Dataflow facts for one declared array of a region.
+
+    ``copy_in``/``copy_out`` are symbolic byte counts: what a runtime that
+    trusts the analysis must move host→device / device→host.  ``copy_out``
+    respects the declared liveness (a written array is copied back only
+    when the program mapped it out — the analysis cannot see past the
+    region's end), while ``copy_in`` may be *tightened* to zero when every
+    read is covered by an earlier device-side write.
+    """
+
+    array: Array
+    direction: Direction
+    reads: int  # static read accesses (reduce-stores count as reads too)
+    writes: int  # static store accesses
+    exposed_reads: int  # reads that may observe the pre-region value
+    covered_reads: int  # reads provably fed by an earlier device write
+    fully_overwritten: bool  # some single nest overwrites the whole array
+    copy_in: Expr  # symbolic bytes host→device the body requires
+    copy_out: Expr  # symbolic bytes device→host given declared liveness
+    unanalysable: tuple[str, ...] = ()  # accesses that defeated the analysis
+
+    @property
+    def declared_in(self) -> bool:
+        return self.array.is_input
+
+    @property
+    def declared_out(self) -> bool:
+        return self.array.is_output
+
+    @property
+    def temp_pattern(self) -> bool:
+        """Written-then-consumed on the device with no exposed reads."""
+        return self.writes > 0 and self.reads > 0 and self.exposed_reads == 0
+
+
+@dataclass(frozen=True)
+class RegionDataflow:
+    """Per-array dataflow results for one region, in declaration order."""
+
+    region_name: str
+    arrays: Mapping[str, ArrayDataflow] = field(default_factory=dict)
+
+    def __iter__(self):
+        return iter(self.arrays.values())
+
+    def __getitem__(self, name: str) -> ArrayDataflow:
+        return self.arrays[name]
+
+    def direction_of(self, name: str) -> Direction:
+        return self.arrays[name].direction
+
+    def transfer_bytes(self, env: Mapping[str, int]) -> tuple[int, int]:
+        """(host→device, device→host) bytes under the inferred directions.
+
+        Mirrors :meth:`Region.transfer_bytes` (same ``KeyError`` /
+        ``ValueError`` hardening) but sums the inferred per-direction
+        bounds instead of the declared map.
+        """
+        to_dev = 0
+        to_host = 0
+        for name, info in self.arrays.items():
+            to_dev += evaluate_transfer_bytes(
+                self.region_name, name, info.copy_in, env
+            )
+            to_host += evaluate_transfer_bytes(
+                self.region_name, name, info.copy_out, env
+            )
+        return to_dev, to_host
+
+    def free_symbols(self) -> frozenset[str]:
+        syms: set[str] = set()
+        for info in self.arrays.values():
+            syms |= info.copy_in.free_symbols()
+            syms |= info.copy_out.free_symbols()
+        return frozenset(syms)
+
+
+def analyze_transfers(region: Region) -> RegionDataflow:
+    """Classify every declared array of ``region`` (see module docstring).
+
+    Accesses to undeclared arrays are ignored here — the structural
+    verifier owns that defect (STRUCT codes) and short-circuits the lint
+    pipeline before the MAP passes run.
+    """
+    per_array: dict[str, list[tuple[int, MemoryAccess]]] = {}
+    for pos, acc in enumerate(memory_accesses(region)):
+        per_array.setdefault(acc.array.name, []).append((pos, acc))
+    results: dict[str, ArrayDataflow] = {}
+    for name, arr in region.arrays.items():
+        results[name] = _analyze_array(arr, per_array.get(name, []))
+    return RegionDataflow(region_name=region.name, arrays=results)
+
+
+def _analyze_array(
+    arr: Array, entries: list[tuple[int, MemoryAccess]]
+) -> ArrayDataflow:
+    unanalysable = tuple(
+        repr(acc) for _, acc in entries if not _affine_ok(acc)
+    )
+    stores = [(p, a) for p, a in entries if a.is_store]
+    loads = [(p, a) for p, a in entries if not a.is_store]
+    # A reduce-store combines with the cell's incoming value, so the host
+    # value is live into the region: one write plus one exposed read.
+    reduce_reads = sum(1 for _, a in stores if isinstance(a.node, ReduceStore))
+
+    # Unconditional plain stores are the only coverage producers.
+    covering = [
+        (p, a)
+        for p, a in stores
+        if a.cond_depth == 0 and not isinstance(a.node, ReduceStore)
+    ]
+    covered = 0
+    exposed = reduce_reads
+    if not unanalysable:
+        for rpos, racc in loads:
+            if _read_covered(rpos, racc, covering):
+                covered += 1
+            else:
+                exposed += 1
+    else:
+        exposed += len(loads)
+
+    writes = len(stores)
+    reads = len(loads) + reduce_reads
+    fully_overwritten = any(_covers_fully(a) for _, a in covering)
+
+    if unanalysable:
+        direction = Direction.UNKNOWN
+    elif not entries:
+        direction = Direction.DEAD
+    elif not stores:
+        direction = Direction.IN
+    elif not reads:
+        direction = Direction.OUT
+    elif exposed == 0:
+        # Covered reads: no host value flows in.  Whether the final value
+        # escapes is the declaration's call — mapped out means it does.
+        direction = Direction.OUT if arr.is_output else Direction.TEMP
+    else:
+        direction = Direction.INOUT
+
+    nbytes = arr.element_count() * as_expr(arr.dtype.size)
+    zero = as_expr(0)
+    if direction is Direction.UNKNOWN:
+        copy_in = nbytes if arr.is_input else zero
+        copy_out = nbytes if arr.is_output else zero
+    else:
+        needs_in = direction in (Direction.IN, Direction.INOUT)
+        needs_out = writes > 0 and arr.is_output
+        copy_in = nbytes if needs_in else zero
+        copy_out = nbytes if needs_out else zero
+
+    return ArrayDataflow(
+        array=arr,
+        direction=direction,
+        reads=reads,
+        writes=writes,
+        exposed_reads=exposed,
+        covered_reads=covered,
+        fully_overwritten=fully_overwritten,
+        copy_in=copy_in,
+        copy_out=copy_out,
+        unanalysable=unanalysable,
+    )
+
+
+def _affine_ok(acc: MemoryAccess) -> bool:
+    try:
+        decompose_affine(
+            acc.flat_index(), {lp.var.name for lp in acc.loop_path}
+        )
+    except NonAffineError:
+        return False
+    return True
+
+
+def _expr_zero(e: Expr) -> bool:
+    """Symbolic zero test: structural cancellation must leave constant 0."""
+    return e.constant_value() == 0
+
+
+def _common_prefix_len(a: tuple[Loop, ...], b: tuple[Loop, ...]) -> int:
+    k = 0
+    for la, lb in zip(a, b):
+        if la is not lb:
+            break
+        k += 1
+    return k
+
+
+def _read_covered(
+    rpos: int,
+    read: MemoryAccess,
+    covering: list[tuple[int, MemoryAccess]],
+) -> bool:
+    """Is every value this read observes produced by an earlier store?
+
+    Pre-order access positions give a sound "executes no later than"
+    order for statements of one iteration context: a store earlier in the
+    list either sits earlier in the same body, or belongs to a sibling
+    subtree that completes before the read's subtree starts.  Coverage
+    across iterations of a shared loop (a store in iteration ``i`` feeding
+    a read in iteration ``i+1``) is deliberately not claimed.
+    """
+    for spos, store in covering:
+        if spos >= rpos:
+            continue
+        k = _common_prefix_len(store.loop_path, read.loop_path)
+        # Per-dimension argument: in the shared iteration context, each
+        # dimension is either addressed identically or fully swept by the
+        # store's sub-nest (covers row/tile scratch).
+        if _dims_cover(store, read, k):
+            return True
+        # Flattened-index argument: a sub-nest below the shared loops
+        # that overwrites the whole array completes before the read.
+        if _covers_fully(store, skip=k):
+            return True
+    return False
+
+
+def _dims_cover(store: MemoryAccess, read: MemoryAccess, k: int) -> bool:
+    """Dimension-wise coverage in the shared iteration context.
+
+    For every array dimension, the store must either use the *same* index
+    expression as the read (over shared-prefix variables only — same
+    element this iteration) or sweep the dimension's full extent with a
+    dedicated sub-nest variable (stride 1 from 0).  Reads are assumed
+    in-bounds — out-of-bounds indices are the bounds pass's finding, and
+    an OOB read is undefined regardless of what was copied in.
+    """
+    if len(store.idxs) != len(read.idxs):
+        return False
+    sub_vars = {lp.var.name: lp for lp in store.loop_path[k:]}
+    inner_names = set(sub_vars) | {
+        lp.var.name for lp in read.loop_path[k:]
+    }
+    used: set[str] = set()
+    for si, ri, extent in zip(store.idxs, read.idxs, store.array.shape):
+        same = (
+            _expr_zero(si - ri)
+            # Guard against loop names reused in disjoint scopes: a
+            # structural match is only meaningful over shared variables.
+            and not (si.free_symbols() & inner_names)
+        )
+        if same:
+            continue
+        try:
+            form = decompose_affine(si, set(sub_vars))
+        except NonAffineError:
+            return False
+        if len(form.coeffs) != 1:
+            return False
+        ((var, coeff),) = form.coeffs.items()
+        if var in used:
+            return False
+        loop = sub_vars[var]
+        if not _expr_zero(coeff - as_expr(1)):
+            return False
+        if not _expr_zero(form.const + loop.start):
+            return False
+        if not _expr_zero(loop.count - extent):
+            return False
+        used.add(var)
+    return True
+
+
+def _covers_fully(access: MemoryAccess, skip: int = 0) -> bool:
+    """Does this store's nest (below ``skip`` outer loops) write every element?
+
+    The flattened index must be affine in the sub-nest's induction
+    variables, start at element 0, and tile the array contiguously: some
+    ordering of the variables must have mixed-radix coefficients
+    ``1, count(v1), count(v1)*count(v2), ...`` whose product equals the
+    element count.  All comparisons are symbolic, so ``A[i*n + j]`` under
+    ``i in [0,m) x j in [0,n)`` covers an ``m*n`` array for *any* binding.
+    """
+    sub = access.loop_path[skip:]
+    sub_vars = {lp.var.name: lp for lp in sub}
+    try:
+        form = decompose_affine(access.flat_index(), set(sub_vars))
+    except NonAffineError:
+        return False
+    # Index of the first element written: loop starts substituted in.
+    base: Expr = form.const
+    for var, coeff in form.coeffs.items():
+        base = base + coeff * sub_vars[var].start
+    if not _expr_zero(base):
+        return False
+    remaining = dict(form.coeffs)
+    radix: Expr = as_expr(1)
+    while remaining:
+        for var, coeff in list(remaining.items()):
+            if _expr_zero(coeff - radix):
+                radix = radix * sub_vars[var].count
+                del remaining[var]
+                break
+        else:
+            return False
+    return _expr_zero(radix - access.array.element_count())

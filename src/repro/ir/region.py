@@ -49,7 +49,17 @@ from .nodes import (
 )
 from .types import DType, f32
 
-__all__ = ["Region", "sqrt", "expv", "absv", "select", "cmp", "minv", "maxv"]
+__all__ = [
+    "Region",
+    "evaluate_transfer_bytes",
+    "sqrt",
+    "expv",
+    "absv",
+    "select",
+    "cmp",
+    "minv",
+    "maxv",
+]
 
 
 def sqrt(x: VExpr) -> VExpr:
@@ -255,11 +265,21 @@ class Region:
         return total
 
     def transfer_bytes(self, env: Mapping[str, int]) -> tuple[int, int]:
-        """(host→device, device→host) bytes for the region's arrays."""
+        """(host→device, device→host) bytes for the region's arrays.
+
+        Raises :class:`KeyError` naming the region and the unbound extent
+        symbols when ``env`` is incomplete, and :class:`ValueError` when a
+        binding makes an array's byte count negative.
+        """
         to_dev = 0
         to_host = 0
         for arr in self.arrays.values():
-            nbytes = int(arr.element_count().evaluate(env)) * arr.dtype.size
+            nbytes = evaluate_transfer_bytes(
+                self.name,
+                arr.name,
+                arr.element_count() * as_expr(arr.dtype.size),
+                env,
+            )
             if arr.is_input:
                 to_dev += nbytes
             if arr.is_output:
@@ -295,6 +315,33 @@ class Region:
 
     def __repr__(self) -> str:
         return f"Region({self.name!r}, arrays={list(self.arrays)}, params={self.params.names()})"
+
+
+def evaluate_transfer_bytes(
+    region_name: str,
+    array_name: str,
+    nbytes: Expr,
+    env: Mapping[str, int],
+) -> int:
+    """Evaluate a symbolic transfer byte count with actionable failures.
+
+    Shared by the declared pricing (:meth:`Region.transfer_bytes`) and the
+    inferred pricing (:meth:`repro.ir.dataflow.RegionDataflow.transfer_bytes`)
+    so both fail identically on incomplete or nonsensical bindings.
+    """
+    missing = nbytes.free_symbols() - set(env)
+    if missing:
+        raise KeyError(
+            f"region {region_name!r}: transfer sizing of array "
+            f"{array_name!r} needs unbound symbols {sorted(missing)}"
+        )
+    total = int(nbytes.evaluate(env))
+    if total < 0:
+        raise ValueError(
+            f"region {region_name!r}: array {array_name!r} transfer size "
+            f"is negative ({total} bytes) — check the extent bindings"
+        )
+    return total
 
 
 def _value_syms(v: VExpr, bound: set[str], out: set[str]) -> None:

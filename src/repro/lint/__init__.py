@@ -42,6 +42,7 @@ _LAZY = {
     "StructuralPass": "passes",
     "default_pass_manager": "passes",
     "lint_region": "passes",
+    "MapDirectionPass": "dataflow",
     "RaceDetectionPass": "correctness",
     "UndeclaredReductionPass": "correctness",
     "BoundsPass": "correctness",

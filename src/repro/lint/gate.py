@@ -19,8 +19,10 @@ Modes
     skip linting entirely.
 
 Only error-severity findings whose code starts with a blocking prefix
-(``RACE``, ``RED`` by default) block: performance lints never stop an
-offload, and structural errors already raise at ``compile_region`` time.
+(``RACE``, ``RED``, ``MAP`` by default) block: performance lints never
+stop an offload, and structural errors already raise at
+``compile_region`` time.  The only error-severity MAP finding is MAP001
+(under-mapped array) — a silent-corruption bug on a real accelerator.
 """
 
 from __future__ import annotations
@@ -48,7 +50,7 @@ FALLBACK_LINT = "lint"
 GATE_MODES = ("off", "warn", "host", "raise")
 
 #: Diagnostic-code prefixes whose error-severity findings block an offload.
-BLOCKING_PREFIXES = ("RACE", "RED")
+BLOCKING_PREFIXES = ("RACE", "RED", "MAP")
 
 
 class LintGateError(RuntimeError):

@@ -100,6 +100,13 @@ class LintContext:
         return out
 
     @cached_property
+    def dataflow(self):
+        """Array liveness / transfer-direction analysis of the region."""
+        from ..ir.dataflow import analyze_transfers
+
+        return analyze_transfers(self.region)
+
+    @cached_property
     def ipda(self):
         """Symbolic IPDA result, or ``None`` when the region has no band."""
         if not self.band:
@@ -199,6 +206,7 @@ class PassManager:
 def default_pass_manager() -> PassManager:
     """The full catalog: structural, correctness, then performance passes."""
     from .correctness import BoundsPass, RaceDetectionPass, UndeclaredReductionPass
+    from .dataflow import MapDirectionPass
     from .performance import (
         BranchDivergencePass,
         FalseSharingPass,
@@ -212,6 +220,7 @@ def default_pass_manager() -> PassManager:
             RaceDetectionPass(),
             UndeclaredReductionPass(),
             BoundsPass(),
+            MapDirectionPass(),
             UncoalescedAccessPass(),
             FalseSharingPass(),
             BranchDivergencePass(),

@@ -37,7 +37,17 @@ def estimate_transfer(
     bytes_to_host: int,
     bus: InterconnectDescriptor,
 ) -> TransferEstimate:
-    """Price the two mapped-data movements over the given bus."""
+    """Price the two mapped-data movements over the given bus.
+
+    Raises :class:`ValueError` on a negative byte count in either
+    direction — a sign of a corrupted binding upstream that would
+    otherwise surface as a nonsensical (negative) predicted time.
+    """
+    if bytes_to_device < 0 or bytes_to_host < 0:
+        raise ValueError(
+            f"negative transfer size (to_device={bytes_to_device}, "
+            f"to_host={bytes_to_host} bytes)"
+        )
     return TransferEstimate(
         bytes_to_device=bytes_to_device,
         bytes_to_host=bytes_to_host,

@@ -104,6 +104,7 @@ class LaunchRecord:
     lint: GateDecision | None = None  # gate verdict (None = clean or no gate)
     drift: DriftDecision | None = None  # sentinel verdict (None = calibrated)
     admission: str | None = None  # admission-control provenance (None = full path)
+    transfers: str | None = None  # transfer sizing source (None = declared map)
 
     @property
     def true_speedup(self) -> float:
@@ -431,6 +432,9 @@ class OffloadingRuntime:
             overhead_seconds=overhead,
             lint=lint_decision,
             drift=drift_decision,
+            transfers=(
+                None if bound.transfer_mode == "declared" else bound.transfer_mode
+            ),
         )
 
     @staticmethod

@@ -93,6 +93,7 @@ class MultiLaunchRecord:
     #: (device_name, drift-state) pairs for streams not CALIBRATED
     drift: tuple[tuple[str, str], ...] | None = None
     admission: str | None = None  # admission-control provenance (None = full path)
+    transfers: str | None = None  # transfer sizing source (None = declared map)
 
     def outcome_of(self, device_name: str) -> DeviceOutcome:
         for o in self.outcomes:
@@ -288,6 +289,12 @@ class MultiDeviceRuntime:
             seconds *= self.time_dilation(device.kind)
         return seconds
 
+    @staticmethod
+    def _transfer_provenance(bound) -> str | None:
+        """Record a transfer source only when it deviates from the default."""
+        mode = bound.transfer_mode
+        return None if mode == "declared" else mode
+
     def _launch_degraded(
         self, region_name: str, env: Mapping[str, int]
     ) -> MultiLaunchRecord:
@@ -429,6 +436,7 @@ class MultiDeviceRuntime:
                     fallback=FALLBACK_LINT,
                     lint=lint_decision,
                     drift=self._observe_outcomes(skey, outcomes),
+                    transfers=self._transfer_provenance(bound),
                 )
 
             # Dispatch order: chosen first, then the remaining candidates by
@@ -504,6 +512,7 @@ class MultiDeviceRuntime:
                 overhead_seconds=overhead,
                 lint=lint_decision,
                 drift=self._observe_outcomes(skey, outcomes),
+                transfers=self._transfer_provenance(bound),
             )
 
     # -- observability ------------------------------------------------------

@@ -91,6 +91,85 @@ def build_write_write_race() -> Region:
     return r
 
 
+def build_undermapped_output() -> Region:
+    """LINT FIXTURE (do not execute): z = x + y but z is mapped to-only.
+
+    The kernel's whole product never travels back to the host — the
+    silent-corruption case the map lint exists for (MAP001, blocks the
+    gate).
+    """
+    r = Region("undermapped")
+    n = r.param("n")
+    x = r.array("x", (n,))
+    y = r.array("y", (n,))
+    z = r.array("z", (n,))  # written below, but declared input-only
+    with r.parallel_loop("i", n) as i:
+        r.store(z[i], x[i] + y[i])
+    return r
+
+
+def build_overmapped_input() -> Region:
+    """LINT FIXTURE: z = x + y with z defensively mapped tofrom.
+
+    The kernel overwrites every element of ``z`` before any read, so the
+    declared host→device copy of ``z`` is pure waste (MAP002).
+    """
+    r = Region("overmapped")
+    n = r.param("n")
+    x = r.array("x", (n,))
+    y = r.array("y", (n,))
+    z = r.array("z", (n,), inout=True)  # should be output=True
+    with r.parallel_loop("i", n) as i:
+        r.store(z[i], x[i] + y[i])
+    return r
+
+
+def build_temp_mapped_both_ways() -> Region:
+    """LINT FIXTURE: device scratch W mapped tofrom (MAP003).
+
+    ``W`` is fully produced by the first nest and consumed by the second;
+    no host value ever flows in and the final value is never used after
+    the region — it should be a device-only (alloc) buffer.
+    """
+    r = Region("temp_both")
+    n = r.param("n")
+    x = r.array("x", (n,))
+    W = r.array("W", (n,), inout=True)  # scratch: should be alloc-only
+    y = r.array("y", (n,), output=True)
+    with r.parallel_loop("i", n) as i:
+        r.store(W[i], x[i] * 2.0)
+        r.store(y[i], W[i] + 1.0)
+    return r
+
+
+def build_dead_map() -> Region:
+    """LINT FIXTURE: array ``unused`` mapped but never touched (MAP004)."""
+    r = Region("dead_map")
+    n = r.param("n")
+    x = r.array("x", (n,))
+    unused = r.array("unused", (n, n), inout=True)  # noqa: F841 - the defect
+    y = r.array("y", (n,), output=True)
+    with r.parallel_loop("i", n) as i:
+        r.store(y[i], x[i] + 1.0)
+    return r
+
+
+def build_unanalysable_direction() -> Region:
+    """LINT FIXTURE: non-affine read index defeats the dataflow (MAP005).
+
+    ``x[(i*i) % n]`` cannot be decomposed as an affine form over ``i``,
+    so the direction of ``x`` is unknown and the declared map cannot be
+    verified (or tightened).
+    """
+    r = Region("unanalysable")
+    n = r.param("n")
+    x = r.array("x", (n,))
+    y = r.array("y", (n,), output=True)
+    with r.parallel_loop("i", n) as i:
+        r.store(y[i], x[(i.sym * i.sym) % n.sym])
+    return r
+
+
 def build_undeclared_reduction() -> Region:
     """LINT FIXTURE (do not execute): s[0] += x[i] with a plain store.
 
