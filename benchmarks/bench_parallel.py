@@ -12,6 +12,12 @@ sweep is replayed from disk instead of recomputed.
 platform, test datasets) without enforcing the speedup floor — the CI
 smoke target; the full run enforces it and exits 1 on a regression.
 
+Each run also carries forward the previous ``BENCH_parallel.json``'s
+``parallel_speedup`` figures (as ``previous_parallel_speedup``) and
+prints a warning when any per-jobs speedup declined — a soft tripwire
+for creeping serialization, not a hard gate, since wall-clock parallel
+speedups are machine-load sensitive.
+
 The pytest entry points double as the differential harness under the
 benchmark runner: the parallel sweep must be bit-identical to the
 sequential one.
@@ -126,6 +132,30 @@ def test_warm_cache_differential(benchmark):
         assert warm.hits > 0 and warm.misses == 0
 
 
+def previous_speedups(path: Path) -> dict | None:
+    """The prior run's ``parallel_speedup`` map, if one is on disk."""
+    if not path.exists():
+        return None
+    try:
+        prior = json.loads(path.read_text()).get("parallel_speedup")
+    except (json.JSONDecodeError, OSError):
+        return None
+    return prior if isinstance(prior, dict) else None
+
+
+def speedup_regressions(current: dict, previous: dict | None) -> list[str]:
+    """Per-jobs arms whose speedup declined vs the previous run."""
+    if previous is None:
+        return []
+    return [
+        f"{arm} parallel speedup declined {previous[arm]:.2f}x -> "
+        f"{current[arm]:.2f}x vs previous run"
+        for arm in sorted(current)
+        if isinstance(previous.get(arm), (int, float))
+        and current[arm] < previous[arm]
+    ]
+
+
 def main(argv: list[str] | None = None) -> int:
     """Smoke entry point: no pytest-benchmark needed."""
     args = sys.argv[1:] if argv is None else argv
@@ -137,6 +167,10 @@ def main(argv: list[str] | None = None) -> int:
             f"warm cache speedup {warm_speedup:.2f}x < {MIN_WARM_SPEEDUP}x"
         )
     out = Path("BENCH_parallel.json")
+    previous = previous_speedups(out)
+    payload["previous_parallel_speedup"] = previous
+    for warning in speedup_regressions(payload["parallel_speedup"], previous):
+        print(f"WARNING: {warning}", file=sys.stderr)
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(json.dumps(payload, indent=2, sort_keys=True))
     print(f"wrote {out}")

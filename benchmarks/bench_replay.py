@@ -10,6 +10,10 @@ Checks the invariants the replay subsystem promises (docs/ROBUSTNESS.md):
   observation is nonfinite;
 * the overload scenarios keep the admission-queue depth bounded by its
   capacity while visibly shedding / degrading / deferring traffic;
+* the hedged-chaos scenario arms speculative host backups, wins at least
+  the stored number of races, strictly cuts the chaos-affected p99
+  completion latency vs its unhedged twin, and duplicates at most the
+  stored fraction of served seconds;
 * a seeded rerun of the whole grid is byte-identical.
 
 The thresholds live in ``benchmarks/traffic_thresholds.json`` so CI
@@ -40,6 +44,8 @@ def check(result, thresholds: dict) -> list[str]:
     max_drop = thresholds["max_accuracy_drop"]
     max_ttd_fraction = thresholds["max_ttd_fraction"]
     max_ttr_s = thresholds["max_ttr_s"]
+    min_hedge_wins = thresholds["min_hedge_wins"]
+    max_hedge_extra = thresholds["max_hedge_extra_fraction"]
     failures: list[str] = []
     for row in result.rows:
         s = row.score
@@ -76,6 +82,25 @@ def check(result, thresholds: dict) -> list[str]:
                     failures.append(
                         f"{row.scenario}: ttr {w.ttr_s:.3f}s > {max_ttr_s}s"
                     )
+        elif row.flavour == "hedged":
+            u = row.unhedged
+            if u is None or s.hedged == 0:
+                failures.append(f"{row.scenario}: no backups armed")
+            elif s.hedge_wins < min_hedge_wins:
+                failures.append(
+                    f"{row.scenario}: {s.hedge_wins} hedge wins < "
+                    f"{min_hedge_wins}"
+                )
+            elif s.chaos_completion_p99_s >= u.chaos_completion_p99_s:
+                failures.append(
+                    f"{row.scenario}: chaos p99 {s.chaos_completion_p99_s:.6f}s "
+                    f"not below unhedged {u.chaos_completion_p99_s:.6f}s"
+                )
+            if s.hedge_extra_fraction > max_hedge_extra:
+                failures.append(
+                    f"{row.scenario}: duplicated-work fraction "
+                    f"{s.hedge_extra_fraction:.4f} > {max_hedge_extra}"
+                )
         else:  # overload
             if row.capacity is not None and s.max_queue_depth > row.capacity:
                 failures.append(

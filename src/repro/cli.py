@@ -12,6 +12,7 @@ Installed as ``repro-paper`` (see pyproject.toml), or run as
     repro-paper transfers              # declared vs inferred transfer sizing
     repro-paper drift --launches 96    # drift sentinel scenario grid
     repro-paper replay --tiny          # traffic-replay chaos scenario grid
+    repro-paper hedge --tiny           # hedged-dispatch budget x chaos grid
     repro-paper trace --format json -o trace.json   # Chrome trace of a sweep
     repro-paper trace --jobs 4                 # parallel sweep, same output
     repro-paper table1 --cache-dir .cache      # reuse analysis across runs
@@ -254,6 +255,34 @@ def _cmd_replay(args) -> int:
     return 0 if result.passed else 1
 
 
+def _cmd_hedge(args) -> int:
+    from .experiments import run_hedge
+    from .util import emit_json
+
+    launches = 2_000 if args.tiny else args.launches
+    result = run_hedge(
+        launches=launches,
+        seed=args.seed,
+        platform=platform_by_name(args.platform),
+        utilization=args.utilization,
+    )
+    out = (
+        emit_json(result.to_payload())
+        if args.format == "json"
+        else result.render()
+    )
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(out + "\n")
+        print(
+            f"wrote hedge {args.format} report "
+            f"({launches} requests/arm) to {args.output}"
+        )
+    else:
+        print(out)
+    return 0 if result.passed else 1
+
+
 def _cmd_cache(args) -> int:
     from .util import emit_json
 
@@ -456,6 +485,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_format_argument(replay)
     replay.set_defaults(func=_cmd_replay)
+
+    hedge = sub.add_parser(
+        "hedge",
+        help=(
+            "replay chaos with and without speculative host backups over "
+            "a deadline-budget sweep (exit 1 when a self-check fails)"
+        ),
+    )
+    hedge.add_argument("--platform", default="p9-v100")
+    hedge.add_argument(
+        "--launches",
+        type=int,
+        default=20_000,
+        help="requests per arm (default: 20000)",
+    )
+    hedge.add_argument("--seed", type=int, default=0)
+    hedge.add_argument(
+        "--utilization",
+        type=float,
+        default=0.6,
+        help="steady-state offered load (default: 0.6)",
+    )
+    hedge.add_argument(
+        "--tiny",
+        action="store_true",
+        help="2000-request smoke grid (the CI target)",
+    )
+    hedge.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="write the report to a file instead of stdout",
+    )
+    add_format_argument(hedge)
+    hedge.set_defaults(func=_cmd_hedge)
 
     trace = sub.add_parser(
         "trace",

@@ -27,6 +27,13 @@ from .drift import (
     run_drift,
 )
 from .faults import FaultScore, FaultsResult, run_faults
+from .hedge import (
+    BUDGET_FACTORS,
+    HEDGE_FLAVOURS,
+    HedgeCell,
+    HedgeResult,
+    run_hedge,
+)
 from .replay import (
     REPLAY_SCENARIOS,
     ReplayResult,
@@ -64,6 +71,11 @@ __all__ = [
     "ReplayResult",
     "ReplayRow",
     "run_replay",
+    "BUDGET_FACTORS",
+    "HEDGE_FLAVOURS",
+    "HedgeCell",
+    "HedgeResult",
+    "run_hedge",
     "TraceResult",
     "run_trace",
     "ScenarioOutcome",

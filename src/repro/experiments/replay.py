@@ -20,7 +20,13 @@ a scenario grid:
   residuals and re-calibrate after;
 * **overload-reject / -degrade / -defer** — the trace is compressed to
   ~3x offered load against a bounded admission queue, one row per
-  load-shedding policy.
+  load-shedding policy;
+* **hedged-chaos**    — the fault-storm chaos replayed twice: once with
+  speculative host backups armed (tail-at-scale hedging: a backup
+  starts once the primary outlives its case's p95), once without.  The
+  hedged arm must actually fire and win, cut the chaos-affected p99
+  completion latency vs its unhedged twin, and duplicate at most
+  :data:`MAX_HEDGE_EXTRA_FRACTION` of the served seconds.
 
 Gates (``ReplayRow.ok`` / ``ReplayResult.passed``): chaos scenarios keep
 steady-state selection accuracy within :data:`MAX_ACCURACY_DROP` of the
@@ -57,6 +63,7 @@ __all__ = [
     "MAX_ACCURACY_DROP",
     "MAX_TTD_FRACTION",
     "MAX_TTR_S",
+    "MAX_HEDGE_EXTRA_FRACTION",
     "REPLAY_SCENARIOS",
     "ReplayRow",
     "ReplayResult",
@@ -67,6 +74,7 @@ __all__ = [
 MAX_ACCURACY_DROP = 0.01  # steady-state accuracy loss vs the no-chaos baseline
 MAX_TTD_FRACTION = 0.25  # detection within this fraction of the window
 MAX_TTR_S = 2.0  # simulated seconds from window close to clean recovery
+MAX_HEDGE_EXTRA_FRACTION = 0.15  # duplicated work hedging may burn
 
 REPLAY_SCENARIOS = (
     "steady",
@@ -77,6 +85,7 @@ REPLAY_SCENARIOS = (
     "overload-reject",
     "overload-degrade",
     "overload-defer",
+    "hedged-chaos",
 )
 
 _OVERLOAD_POLICIES = {
@@ -91,11 +100,14 @@ class ReplayRow:
     """One scenario's score plus its gate verdict inputs."""
 
     scenario: str
-    flavour: str  # "baseline" | "chaos" | "overload"
+    flavour: str  # "baseline" | "chaos" | "overload" | "hedged"
     score: ReplayScore
     baseline_steady_accuracy: float
     capacity: int | None  # admission bound (overload rows)
     outcome_counts: dict
+    #: the unhedged twin's score (hedged rows only): same trace, same
+    #: chaos, same budget — the only delta is the HedgePolicy
+    unhedged: ReplayScore | None = None
 
     @property
     def accuracy_drop(self) -> float:
@@ -124,6 +136,20 @@ class ReplayRow:
                 if not w.recovered or w.ttr_s > MAX_TTR_S:
                     return False
             return True
+        if self.flavour == "hedged":
+            # hedging must actually fire, win at least once, cut the
+            # chaos-affected p99 completion latency vs the unhedged twin
+            # (the trace-wide p99 is pinned by steady-state burst peaks
+            # no backup can touch), and stay under the duplicated-work
+            # ceiling — a hedge that only burns is a bug
+            u = self.unhedged
+            return (
+                u is not None
+                and s.hedged > 0
+                and s.hedge_wins > 0
+                and s.chaos_completion_p99_s < u.chaos_completion_p99_s
+                and s.hedge_extra_fraction <= MAX_HEDGE_EXTRA_FRACTION
+            )
         # overload: the bound must hold and the policy must visibly shed
         if self.capacity is not None and s.max_queue_depth > self.capacity:
             return False
@@ -225,6 +251,21 @@ class ReplayResult:
                     "capacity": row.capacity,
                     "baseline_steady_accuracy": row.baseline_steady_accuracy,
                     "outcome_counts": row.outcome_counts,
+                    **(
+                        {
+                            "unhedged_completion_p99_s": (
+                                row.unhedged.completion_p99_s
+                            ),
+                            "unhedged_chaos_completion_p99_s": (
+                                row.unhedged.chaos_completion_p99_s
+                            ),
+                            "unhedged_chaos_completion_p50_s": (
+                                row.unhedged.chaos_completion_p50_s
+                            ),
+                        }
+                        if row.unhedged is not None
+                        else {}
+                    ),
                     **row.score.to_payload(),
                 }
                 for row in self.rows
@@ -305,7 +346,34 @@ def run_replay(
     rows: list[ReplayRow] = []
     baseline_steady = math.nan
     for name in scenarios:
-        if name in _OVERLOAD_POLICIES:
+        unhedged = None
+        if name == "hedged-chaos":
+            # the hedged arm and its unhedged twin share the trace and
+            # the fault-storm chaos; the *only* delta is the HedgePolicy,
+            # so the chaos-tail p99 comparison is causal
+            flavour = "hedged"
+            run = ReplayEngine(
+                ReplayConfig(
+                    platform=platform,
+                    workload=workload,
+                    chaos=chaos_for("fault-storm"),
+                    hedge=True,
+                ),
+                policy=policy,
+                memo=memo,
+            ).run(requests=requests)
+            score = score_run(run, recovery_margin_s=margin)
+            plain = ReplayEngine(
+                ReplayConfig(
+                    platform=platform,
+                    workload=workload,
+                    chaos=chaos_for("fault-storm"),
+                ),
+                policy=policy,
+                memo=memo,
+            ).run(requests=requests)
+            unhedged = score_run(plain, recovery_margin_s=margin)
+        elif name in _OVERLOAD_POLICIES:
             flavour = "overload"
             cfg = ReplayConfig(
                 platform=platform,
@@ -341,6 +409,7 @@ def run_replay(
                 baseline_steady_accuracy=baseline_steady,
                 capacity=capacity if flavour == "overload" else None,
                 outcome_counts=run.outcome_counts(),
+                unhedged=unhedged,
             )
         )
 

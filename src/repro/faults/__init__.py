@@ -13,6 +13,7 @@ pieces the runtimes compose:
 """
 
 from .errors import (
+    BudgetExhausted,
     DeadlineExceeded,
     DeviceError,
     DeviceMemoryError,
@@ -38,6 +39,7 @@ from .resilient import DispatchResult, dispatch_with_retries
 from .retry import RetryPolicy, SimulatedClock
 
 __all__ = [
+    "BudgetExhausted",
     "DeadlineExceeded",
     "DeviceError",
     "DeviceMemoryError",

@@ -17,6 +17,7 @@ __all__ = [
     "KernelTimeout",
     "TransientDeviceError",
     "DeadlineExceeded",
+    "BudgetExhausted",
 ]
 
 
@@ -101,3 +102,39 @@ class DeadlineExceeded(DeviceError):
         )
         self.deadline_seconds = deadline_seconds
         self.observed_seconds = observed_seconds
+
+
+class BudgetExhausted(DeviceError):
+    """The request's end-to-end deadline budget ran out mid-dispatch.
+
+    Raised (as an event) by the budget-aware retry loop when the next
+    backoff delay would overdraw the request's remaining
+    :class:`~repro.runtime.Budget`, or by the watchdog path when the
+    remaining budget is a tighter bound than the watchdog deadline and
+    the observed device time overran it.  Not retryable: the budget only
+    shrinks.  Like :class:`DeadlineExceeded` it feeds
+    :class:`~repro.faults.DeviceHealth` — a device that keeps eating
+    budgets looks flaky to the breaker even when its faults are slow
+    successes.
+    """
+
+    retryable = False
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        device_name: str = "?",
+        launch_index: int = -1,
+        attempt: int = 1,
+        budget_seconds: float = float("inf"),
+        remaining_seconds: float = 0.0,
+    ):
+        super().__init__(
+            message,
+            device_name=device_name,
+            launch_index=launch_index,
+            attempt=attempt,
+        )
+        self.budget_seconds = budget_seconds
+        self.remaining_seconds = remaining_seconds

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .errors import DeviceError
+from .errors import BudgetExhausted, DeviceError
 from .health import DeviceHealth
 from .injector import FaultEvent, FaultInjector, LaunchContext
 from .retry import RetryPolicy, SimulatedClock
@@ -24,6 +24,7 @@ FALLBACK_HEALTH = "health-penalty"
 FALLBACK_RETRIES = "retries-exhausted"
 FALLBACK_FATAL = "non-retryable-fault"
 FALLBACK_DEADLINE = "deadline-exceeded"
+FALLBACK_BUDGET = "budget-exhausted"
 
 
 @dataclass(frozen=True)
@@ -57,12 +58,20 @@ def dispatch_with_retries(
     launch_index: int,
     footprint_bytes: int,
     memory_bytes: int | None,
+    budget=None,
 ) -> DispatchResult:
     """Attempt one accelerator launch under the fault plan.
 
     Returns a successful single-attempt result immediately when no
     injector is configured (the fault-free fast path — zero overhead, so
     records stay bit-identical to a runtime without fault tolerance).
+
+    ``budget`` is an optional :class:`~repro.runtime.Budget`: a backoff
+    delay that would overdraw the remaining budget is never slept —
+    the loop stops with a typed :class:`BudgetExhausted` event (fed to
+    the device's health, so chronic budget-eaters trip the breaker) and
+    the :data:`FALLBACK_BUDGET` reason.  ``budget=None`` (the default)
+    reproduces the historical loop exactly.
     """
     if injector is None or not injector.enabled:
         health.record_success()
@@ -101,6 +110,24 @@ def dispatch_with_retries(
                 False, attempt, tuple(events), overhead, FALLBACK_RETRIES
             )
         delay = retry.delay(attempt)
+        if budget is not None:
+            remaining = budget.remaining()
+            if delay > remaining:
+                exhausted = BudgetExhausted(
+                    f"retry backoff {delay:.3e}s exceeds remaining budget "
+                    f"{remaining:.3e}s",
+                    device_name=device_name,
+                    launch_index=launch_index,
+                    attempt=attempt,
+                    budget_seconds=budget.total_s,
+                    remaining_seconds=remaining,
+                )
+                events.append(_event(exhausted))
+                health.record_failure(exhausted)
+                return DispatchResult(
+                    False, attempt, tuple(events), overhead, FALLBACK_BUDGET
+                )
+            budget.charge(delay)
         overhead += delay
         clock.advance(delay)
     raise AssertionError("unreachable")  # pragma: no cover

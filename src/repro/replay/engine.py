@@ -32,7 +32,15 @@ from ..analysis import ProgramAttributeDatabase
 from ..drift import DriftSentinel, Watchdog
 from ..machines import Platform
 from ..obs import MetricsRegistry
-from ..runtime import ExecutionMemo, ModelGuided, MultiDeviceRuntime, OffloadingRuntime
+from ..runtime import (
+    Budget,
+    Bulkhead,
+    ExecutionMemo,
+    HedgePolicy,
+    ModelGuided,
+    MultiDeviceRuntime,
+    OffloadingRuntime,
+)
 from .admission import AdmissionConfig, AdmissionQueue
 from .chaos import ChaosSchedule
 from .workload import LaunchRequest, WorkloadConfig, build_catalog, generate_requests
@@ -98,7 +106,7 @@ class ReplayOutcome:
 
     index: int
     arrival_s: float
-    outcome: str  # "ok" | "resumed" | "degraded" | "shed"
+    outcome: str  # "ok" | "resumed" | "degraded" | "shed" | "expired"
     start_s: float | None = None  # service start (None when never launched)
     record: object | None = None  # LaunchRecord / MultiLaunchRecord / None
 
@@ -124,6 +132,22 @@ class ReplayConfig:
     #: is what lets a post-storm runtime forgive the card instead of
     #:  pinning borderline kernels to the host forever
     health_decay_halflife_s: float | None = 5.0
+    #: per-request end-to-end deadline budget (simulated seconds); queue
+    #: wait, retry backoff and watchdog burn are charged against it.  A
+    #: request whose budget drains while queueing runs the host-only
+    #: degraded path instead ("expired").  None = off (bit-identical).
+    budget_s: float | None = None
+    #: arm speculative host backups (a HedgePolicy on the runtime)
+    hedge: bool = False
+    hedge_quantile: float = 0.95
+    hedge_min_samples: int = 8
+    hedge_low_budget_factor: float = 2.0
+    #: classic tail-at-scale arming: every sketch-ready launch hedges,
+    #: but only primaries that outlive the p-quantile delay ever pay
+    hedge_on_slow: bool = True
+    #: bounded scheduled-work slots per device (a Bulkhead on the
+    #: runtime); saturated devices reroute pre-dispatch.  None = off.
+    bulkhead_slots: int | None = None
 
 
 @dataclass
@@ -197,6 +221,15 @@ class ReplayEngine:
         # chaos compiles onto the runtime's own clock
         runtime.injector = cfg.chaos.build_injector(runtime.clock)
         runtime.time_dilation = cfg.chaos.build_dilation(runtime.clock)
+        if cfg.bulkhead_slots is not None:
+            runtime.bulkheads = Bulkhead(cfg.bulkhead_slots)
+        if cfg.hedge:
+            runtime.hedge = HedgePolicy(
+                quantile=cfg.hedge_quantile,
+                min_samples=cfg.hedge_min_samples,
+                low_budget_factor=cfg.hedge_low_budget_factor,
+                on_slow=cfg.hedge_on_slow,
+            )
         return runtime
 
     # -- driving ------------------------------------------------------------
@@ -205,12 +238,26 @@ class ReplayEngine:
         if t > clock.now:
             clock.advance(t - clock.now)
 
-    def _launch(self, request: LaunchRequest, *, force_target=None):
+    def _launch(self, request: LaunchRequest, *, force_target=None, budget=None):
         return self.runtime.launch(
             request.case.region_name,
             request.case.env_dict(),
             force_target=force_target,
+            budget=budget,
         )
+
+    @staticmethod
+    def _device_key(record) -> str:
+        """The bulkhead booking key: target kind (single) or device name."""
+        target = getattr(record, "target", None)
+        if target is not None:
+            return target
+        return record.executed_device or record.chosen
+
+    def _book(self, record, finish_s: float) -> None:
+        bulkheads = self.runtime.bulkheads
+        if bulkheads is not None:
+            bulkheads.book(self._device_key(record), finish_s)
 
     def _serve(
         self,
@@ -219,10 +266,34 @@ class ReplayEngine:
         outcomes: list[ReplayOutcome],
         label: str,
     ) -> None:
+        budget = None
+        if self.config.budget_s is not None:
+            budget = Budget(self.config.budget_s)
+            # the FIFO start time is max(arrival, server_free_at), so the
+            # wait is known before the server is committed: a request
+            # whose whole budget would burn in the queue sheds at the
+            # door ("expired") instead of occupying the server with work
+            # its client already gave up on — which is also what keeps a
+            # backlogged stretch from cascading
+            projected_wait = max(queue.server_free_at - request.arrival_s, 0.0)
+            if projected_wait >= budget.total_s:
+                outcomes.append(
+                    ReplayOutcome(
+                        index=request.index,
+                        arrival_s=request.arrival_s,
+                        outcome="expired",
+                    )
+                )
+                return
         start = queue.start(request.arrival_s)
+        wait = start - request.arrival_s
+        self.runtime.metrics.quantiles("admission_wait_seconds").observe(wait)
+        if budget is not None:
+            budget.charge(wait)
         self._advance_to(start)
-        record = self._launch(request)
-        queue.finish(start, record.executed_seconds)
+        record = self._launch(request, budget=budget)
+        finish = queue.finish(start, record.executed_seconds)
+        self._book(record, finish)
         outcomes.append(
             ReplayOutcome(
                 index=request.index,
@@ -248,6 +319,9 @@ class ReplayEngine:
         for request in requests:
             for parked in queue.resumable(request.arrival_s):
                 self._serve(queue, parked, outcomes, "resumed")
+            metrics.quantiles("admission_queue_depth").observe(
+                float(queue.depth(request.arrival_s))
+            )
             decision = queue.decide(request.arrival_s)
             metrics.counter("replay_requests_total", decision=decision).inc()
             if decision == "admit":

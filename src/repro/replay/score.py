@@ -71,17 +71,30 @@ class ReplayScore:
     overall_accuracy: float
     steady_accuracy: float
     steady_launches: int
-    overhead_p50_s: float
+    overhead_p50_s: float  # over launches with nonzero overhead only
     overhead_p99_s: float
+    overhead_zero: int  # zero-overhead launches excluded from the tails
     overhead_nonfinite: int
+    completion_p50_s: float  # arrival -> winning finish, every served request
+    completion_p99_s: float
+    #: completion tails over the chaos-affected stretch only (service
+    #: started inside a window + recovery margin); 0.0 without chaos.
+    #: The trace-wide p99 is pinned by steady-state burst peaks, so this
+    #: is the tail a mitigation (hedging, bulkheads) can actually move.
+    chaos_completion_p50_s: float
+    chaos_completion_p99_s: float
     shed_fraction: float
     degraded_fraction: float
+    expired: int  # budget drained while queueing (host-only path)
     deferred: int
     resumed: int
     max_queue_depth: int
     max_wait_s: float
     fallbacks: int
     fault_events: int
+    hedged: int  # launches whose host backup actually started
+    hedge_wins: int  # ... and finished first
+    hedge_extra_fraction: float  # duplicated work / total served seconds
     windows: tuple[WindowScore, ...]
 
     def window(self, name: str) -> WindowScore:
@@ -101,15 +114,24 @@ class ReplayScore:
             "steady_launches": self.steady_launches,
             "overhead_p50_s": self.overhead_p50_s,
             "overhead_p99_s": self.overhead_p99_s,
+            "overhead_zero": self.overhead_zero,
             "overhead_nonfinite": self.overhead_nonfinite,
+            "completion_p50_s": self.completion_p50_s,
+            "completion_p99_s": self.completion_p99_s,
+            "chaos_completion_p50_s": self.chaos_completion_p50_s,
+            "chaos_completion_p99_s": self.chaos_completion_p99_s,
             "shed_fraction": self.shed_fraction,
             "degraded_fraction": self.degraded_fraction,
+            "expired": self.expired,
             "deferred": self.deferred,
             "resumed": self.resumed,
             "max_queue_depth": self.max_queue_depth,
             "max_wait_s": self.max_wait_s,
             "fallbacks": self.fallbacks,
             "fault_events": self.fault_events,
+            "hedged": self.hedged,
+            "hedge_wins": self.hedge_wins,
+            "hedge_extra_fraction": self.hedge_extra_fraction,
             "windows": [
                 {
                     "window": w.window,
@@ -196,8 +218,13 @@ def score_run(run: ReplayRun, *, recovery_margin_s: float = 0.0) -> ReplayScore:
     restoring.
     """
     windows = run.config.chaos.windows
+    # degraded *and* expired requests never made a model decision, so
+    # they are excluded from the accuracy/overhead views (but still
+    # count toward the completion-latency tails every client feels)
     full_path = [
-        o for o in run.outcomes if o.record is not None and o.outcome != "degraded"
+        o
+        for o in run.outcomes
+        if o.record is not None and o.outcome not in ("degraded", "expired")
     ]
 
     def in_any_window(start_s: float) -> bool:
@@ -210,13 +237,44 @@ def score_run(run: ReplayRun, *, recovery_margin_s: float = 0.0) -> ReplayScore:
     steady_correct = sum(1 for o in steady if _decision_correct(o.record))
 
     overhead = QuantileSketch()
+    overhead_zero = 0
     fallbacks = 0
     fault_events = 0
+    hedged = 0
+    hedge_wins = 0
+    hedge_extra_s = 0.0
     for o in full_path:
-        overhead.observe(o.record.overhead_seconds)
+        # zero-overhead launches (no retries, no deadline burn) would
+        # collapse the sketch's low buckets and pin p50/p99 to 0.0; they
+        # are counted apart so the tails reflect real dispatch work
+        if o.record.overhead_seconds != 0.0:
+            overhead.observe(o.record.overhead_seconds)
+        else:
+            overhead_zero += 1
         if o.record.fallback is not None:
             fallbacks += 1
         fault_events += len(o.record.fault_events)
+        h = getattr(o.record, "hedge", None)
+        if h is not None:
+            hedged += 1
+            if h.winner == "backup":
+                hedge_wins += 1
+            hedge_extra_s += h.extra_work_s
+
+    completion = QuantileSketch()
+    chaos_completion = QuantileSketch()
+    service_total_s = 0.0
+    expired = 0
+    for o in run.outcomes:
+        if o.outcome == "expired":
+            expired += 1
+        if o.record is None or o.start_s is None:
+            continue
+        latency = o.start_s + o.record.executed_seconds - o.arrival_s
+        completion.observe(latency)
+        if in_any_window(o.start_s):
+            chaos_completion.observe(latency)
+        service_total_s += o.record.executed_seconds
 
     scored_windows = []
     for w in windows:
@@ -237,6 +295,12 @@ def score_run(run: ReplayRun, *, recovery_margin_s: float = 0.0) -> ReplayScore:
 
     requests = len(run.requests)
     q = run.queue
+
+    def tail(sketch: QuantileSketch, quantile: float) -> float:
+        # an empty sketch (e.g. every launch memo-fast) reads as 0.0 so
+        # downstream isfinite() gates stay meaningful
+        return sketch.quantile(quantile) if sketch.count else 0.0
+
     return ReplayScore(
         launches=len(full_path),
         requests=requests,
@@ -244,16 +308,27 @@ def score_run(run: ReplayRun, *, recovery_margin_s: float = 0.0) -> ReplayScore:
         overall_accuracy=(correct / len(full_path)) if full_path else math.nan,
         steady_accuracy=(steady_correct / len(steady)) if steady else math.nan,
         steady_launches=len(steady),
-        overhead_p50_s=overhead.p50,
-        overhead_p99_s=overhead.p99,
+        overhead_p50_s=tail(overhead, 0.50),
+        overhead_p99_s=tail(overhead, 0.99),
+        overhead_zero=overhead_zero,
         overhead_nonfinite=overhead.nonfinite,
+        completion_p50_s=tail(completion, 0.50),
+        completion_p99_s=tail(completion, 0.99),
+        chaos_completion_p50_s=tail(chaos_completion, 0.50),
+        chaos_completion_p99_s=tail(chaos_completion, 0.99),
         shed_fraction=(q.shed / requests) if requests else 0.0,
         degraded_fraction=(q.degraded / requests) if requests else 0.0,
+        expired=expired,
         deferred=q.deferred,
         resumed=q.resumed,
         max_queue_depth=q.max_depth,
         max_wait_s=q.max_wait_s,
         fallbacks=fallbacks,
         fault_events=fault_events,
+        hedged=hedged,
+        hedge_wins=hedge_wins,
+        hedge_extra_fraction=(
+            (hedge_extra_s / service_total_s) if service_total_s > 0.0 else 0.0
+        ),
         windows=tuple(scored_windows),
     )

@@ -15,6 +15,15 @@ from ..faults import (
     scenario_by_name,
 )
 from .device import AcceleratorDevice, Device, ExecutionRecord, HostDevice
+from .dispatch import (
+    FALLBACK_BULKHEAD,
+    FALLBACK_HEDGE,
+    Budget,
+    Bulkhead,
+    DispatchCore,
+    HedgeOutcome,
+    HedgePolicy,
+)
 from .policies import (
     AlwaysCPU,
     AlwaysGPU,
@@ -29,6 +38,13 @@ from .multi import DeviceOutcome, MultiDeviceRuntime, MultiLaunchRecord
 
 __all__ = [
     "ADMISSION_DEGRADED",
+    "FALLBACK_BULKHEAD",
+    "FALLBACK_HEDGE",
+    "Budget",
+    "Bulkhead",
+    "DispatchCore",
+    "HedgeOutcome",
+    "HedgePolicy",
     "ExecutionMemo",
     "DeviceOutcome",
     "MultiDeviceRuntime",

@@ -50,19 +50,11 @@ from typing import Callable, Mapping
 from ..analysis import ProgramAttributeDatabase, RegionAttributes
 from ..drift import DriftDecision, DriftSentinel, SelfHealingSelector, Watchdog
 from ..faults import (
-    DeadlineExceeded,
     DeviceHealth,
     FaultEvent,
     FaultInjector,
     RetryPolicy,
     SimulatedClock,
-    dispatch_with_retries,
-    region_footprint_bytes,
-)
-from ..faults.resilient import (
-    FALLBACK_BREAKER,
-    FALLBACK_DEADLINE,
-    FALLBACK_HEALTH,
 )
 from ..ir import Region
 from ..lint.gate import FALLBACK_LINT, GateDecision, LintGate, LintGateError
@@ -70,6 +62,14 @@ from ..machines import Platform
 from ..models import SelectionPrediction
 from ..obs import NULL_TRACER, MetricsRegistry, NullTracer, Tracer
 from .device import AcceleratorDevice, HostDevice
+from .dispatch import (
+    FALLBACK_HEDGE,
+    Budget,
+    Bulkhead,
+    DispatchCore,
+    HedgeOutcome,
+    HedgePolicy,
+)
 from .memo import ExecutionMemo
 from .policies import ModelGuided, Policy
 
@@ -105,6 +105,7 @@ class LaunchRecord:
     drift: DriftDecision | None = None  # sentinel verdict (None = calibrated)
     admission: str | None = None  # admission-control provenance (None = full path)
     transfers: str | None = None  # transfer sizing source (None = declared map)
+    hedge: HedgeOutcome | None = None  # hedged-launch provenance (None = no backup)
 
     @property
     def true_speedup(self) -> float:
@@ -181,6 +182,12 @@ class OffloadingRuntime:
     #: streams keep a stable workload CALIBRATED.  Off by default (the
     #: historical keying the drift experiment and its tests pin).
     sentinel_stream_by_env: bool = False
+    #: optional per-device bounded scheduled-work slots; a saturated
+    #: accelerator reroutes to the host (FALLBACK_BULKHEAD).  None = off.
+    bulkheads: Bulkhead | None = None
+    #: optional speculative host-backup policy (docs/ROBUSTNESS.md);
+    #: None = off, and every record stays bit-identical.
+    hedge: HedgePolicy | None = None
 
     def __post_init__(self):
         self._host = HostDevice(self.platform.host, num_threads=self.num_threads)
@@ -199,6 +206,7 @@ class OffloadingRuntime:
         self._healer = (
             SelfHealingSelector(self.sentinel) if self.sentinel else None
         )
+        self._core = DispatchCore(self)
 
     # -- compile time -------------------------------------------------------
     def compile_region(self, region: Region) -> RegionAttributes:
@@ -213,6 +221,7 @@ class OffloadingRuntime:
         env: Mapping[str, int],
         *,
         force_target: str | None = None,
+        budget: Budget | None = None,
     ) -> LaunchRecord:
         """Reach a target region with runtime values and dispatch it.
 
@@ -223,6 +232,11 @@ class OffloadingRuntime:
         ``admission=ADMISSION_DEGRADED``.  The default ``None`` takes the
         full path and leaves the record bit-identical to a runtime without
         admission control.
+
+        ``budget`` is this request's remaining end-to-end deadline
+        budget: retry backoff and watchdog burn are charged against it
+        and can never overspend it (docs/ROBUSTNESS.md).  ``None`` (the
+        default) dispatches unbudgeted, bit-identically.
         """
         if force_target not in (None, "cpu"):
             raise ValueError(
@@ -235,47 +249,35 @@ class OffloadingRuntime:
             if force_target == "cpu":
                 record = self._launch_degraded(region_name, env)
             else:
-                record = self._launch(region_name, env, tracer)
+                record = self._launch(region_name, env, tracer, budget)
             if tracer.enabled:
                 span.set("target", record.target)
                 if record.fallback is not None:
                     span.set("fallback", record.fallback)
         if self.metrics is not None:
-            self._record_metrics(record)
+            self._core.record_metrics(
+                record,
+                executed_device=record.target,
+                retries_labels={"device": self._accel.name},
+                healths=((self._accel.name, self.health),),
+                pred_triples=(
+                    (
+                        ("cpu", record.prediction.cpu.seconds, record.cpu_seconds),
+                        ("gpu", record.prediction.gpu.seconds, record.gpu_seconds),
+                    )
+                    if record.prediction is not None
+                    else ()
+                ),
+            )
         return record
-
-    def _sentinel_key(self, region_name: str, env: Mapping[str, int]) -> str:
-        """The drift-stream key for one launch (see sentinel_stream_by_env)."""
-        if not self.sentinel_stream_by_env:
-            return region_name
-        sizes = ",".join(f"{k}={env[k]}" for k in sorted(env))
-        return f"{region_name}@{sizes}"
-
-    def _measure(self, attrs, env: Mapping[str, int]) -> tuple[float, float]:
-        """Simulated (cpu, gpu) seconds for this launch.
-
-        Memoized per (region, env) when a memo is attached (the values
-        are deterministic, so the cache is invisible in the records), and
-        scaled by the chaos time-dilation hook when one is active.
-        """
-        if self.memo is not None:
-            cpu_rec = self.memo.execution(self._host, attrs, env)
-            gpu_rec = self.memo.execution(self._accel, attrs, env)
-        else:
-            cpu_rec = self._host.execute(attrs.region, env)
-            gpu_rec = self._accel.execute(attrs.region, env)
-        cpu_seconds, gpu_seconds = cpu_rec.seconds, gpu_rec.seconds
-        if self.time_dilation is not None:
-            cpu_seconds *= self.time_dilation("cpu")
-            gpu_seconds *= self.time_dilation("gpu")
-        return cpu_seconds, gpu_seconds
 
     def _launch_degraded(
         self, region_name: str, env: Mapping[str, int]
     ) -> LaunchRecord:
         """The admission-degraded path: straight to the host, no models."""
         attrs = self.db.lookup(region_name)
-        cpu_seconds, gpu_seconds = self._measure(attrs, env)
+        cpu_seconds = self._core.measure(self._host, attrs, env)
+        gpu_seconds = self._core.measure(self._accel, attrs, env)
         return LaunchRecord(
             region_name=region_name,
             target="cpu",
@@ -293,13 +295,14 @@ class OffloadingRuntime:
         region_name: str,
         env: Mapping[str, int],
         tracer: Tracer | NullTracer,
+        budget: Budget | None = None,
     ) -> LaunchRecord:
+        core = self._core
         attrs = self.db.lookup(region_name)
-        bound = (
-            self.memo.bound(attrs, env) if self.memo is not None else attrs.bind(env)
-        )
+        bound = core.bound(attrs, env)
 
-        cpu_seconds, gpu_seconds = self._measure(attrs, env)
+        cpu_seconds = core.measure(self._host, attrs, env)
+        gpu_seconds = core.measure(self._accel, attrs, env)
 
         with tracer.span(
             "predict", region=region_name, policy=self.policy.name
@@ -317,7 +320,7 @@ class OffloadingRuntime:
             drift_decision: DriftDecision | None = None
             if self._healer is not None and prediction is not None:
                 drift_decision = self._healer.decide(
-                    self._sentinel_key(region_name, env), prediction
+                    core.sentinel_key(region_name, env), prediction
                 )
                 if drift_decision is not None:
                     requested = drift_decision.target
@@ -335,13 +338,13 @@ class OffloadingRuntime:
         attempts = 0
         events: tuple[FaultEvent, ...] = ()
         overhead = 0.0
+        plan: tuple[str, float] | None = None
+        hedge: HedgeOutcome | None = None
 
         with tracer.span(
             "dispatch", region=region_name, requested=requested
         ) as dspan:
-            lint_decision = (
-                self.lint_gate.decide(attrs.region) if self.lint_gate else None
-            )
+            lint_decision = core.lint_decision(attrs.region)
 
             self.health.breaker.on_launch()
             if (
@@ -353,22 +356,29 @@ class OffloadingRuntime:
                     raise LintGateError(region_name, lint_decision.codes)
                 target, fallback = "cpu", FALLBACK_LINT
             if target == "gpu":
-                target, fallback = self._pre_dispatch_reroute(prediction)
+                target, fallback = core.pre_dispatch_reroute(
+                    self.health, prediction, "gpu"
+                )
             if target == "gpu":
                 launch_index = self._accel_launches
-                result = dispatch_with_retries(
-                    injector=self.injector,
-                    retry=self.retry,
-                    clock=self.clock,
-                    health=self.health,
+                plan = core.hedge_plan(
                     device_name=self._accel.name,
-                    launch_index=launch_index,
-                    footprint_bytes=(
-                        self.memo.footprint(attrs, env, region_footprint_bytes)
-                        if self.memo is not None
-                        else region_footprint_bytes(attrs.region, env)
+                    region_name=region_name,
+                    env=env,
+                    drift_flagged=drift_decision is not None,
+                    half_open=core.half_open(self.health),
+                    budget=budget,
+                    predicted_gpu_s=(
+                        prediction.gpu.seconds if prediction is not None else None
                     ),
-                    memory_bytes=int(self._accel.gpu.mem_size_gib * 2**30),
+                )
+                result = core.attempt(
+                    health=self.health,
+                    device=self._accel,
+                    attrs=attrs,
+                    env=env,
+                    launch_index=launch_index,
+                    budget=budget,
                 )
                 self._accel_launches += 1
                 attempts = result.attempts
@@ -377,18 +387,45 @@ class OffloadingRuntime:
                 if not result.ok:
                     target, fallback = "cpu", result.reason
                 elif self.watchdog is not None and prediction is not None:
-                    overrun = self._check_deadline(
-                        prediction, drift_decision, gpu_seconds,
-                        launch_index, attempts,
+                    # the watchdog budgets from the (drift-healed) prediction
+                    basis = prediction.gpu.seconds * (
+                        drift_decision.correction_gpu
+                        if drift_decision is not None
+                        else 1.0
+                    )
+                    overrun = core.kill_overrun(
+                        health=self.health,
+                        device_name=self._accel.name,
+                        basis_seconds=basis,
+                        observed_seconds=gpu_seconds,
+                        launch_index=launch_index,
+                        attempt=max(attempts, 1),
+                        budget=budget,
+                        detail=(
+                            f" (predicted {basis:.3e}s x "
+                            f"{self.watchdog.factor:g} + "
+                            f"{self.watchdog.slack_s:g}s)"
+                        ),
                     )
                     if overrun is not None:
-                        deadline_event, deadline = overrun
+                        deadline_event, burned, kill_fallback = overrun
                         events = events + (deadline_event,)
-                        # the deadline's worth of device time was burned before
-                        # the kill; the host then reruns the region
-                        overhead += deadline
-                        self.clock.advance(deadline)
-                        target, fallback = "cpu", FALLBACK_DEADLINE
+                        overhead += burned
+                        target, fallback = "cpu", kill_fallback
+            if plan is not None:
+                hedge = core.hedge_resolve(
+                    plan,
+                    primary_ok=(target == "gpu"),
+                    primary_seconds=gpu_seconds,
+                    backup_seconds=cpu_seconds,
+                    overhead_seconds=overhead,
+                )
+                if (
+                    hedge is not None
+                    and hedge.winner == "backup"
+                    and target == "gpu"
+                ):
+                    target, fallback = "cpu", FALLBACK_HEDGE
             if tracer.enabled:
                 dspan.set("target", target)
                 dspan.set("attempts", attempts)
@@ -398,6 +435,8 @@ class OffloadingRuntime:
                     dspan.set("overhead_s", overhead)
                 if lint_decision is not None:
                     dspan.set("lint_action", lint_decision.action)
+                if hedge is not None:
+                    dspan.set("hedge_winner", hedge.winner)
                 for ev in events:
                     dspan.event(
                         "fault",
@@ -408,11 +447,14 @@ class OffloadingRuntime:
 
         executed = (cpu_seconds if target == "cpu" else gpu_seconds)
         executed += overhead
+        if hedge is not None:
+            executed = hedge.completion_s
+        core.hedge_observe(self._accel.name, region_name, env, gpu_seconds)
         if self.sentinel is not None and prediction is not None:
             # post-mortem: both sides are simulated every launch, so both
             # streams learn regardless of where the region actually ran
-            self._observe_sentinel(
-                self._sentinel_key(region_name, env),
+            core.observe_sentinel_pair(
+                core.sentinel_key(region_name, env),
                 prediction,
                 cpu_seconds,
                 gpu_seconds,
@@ -432,144 +474,6 @@ class OffloadingRuntime:
             overhead_seconds=overhead,
             lint=lint_decision,
             drift=drift_decision,
-            transfers=(
-                None if bound.transfer_mode == "declared" else bound.transfer_mode
-            ),
+            transfers=core.transfer_provenance(bound),
+            hedge=hedge,
         )
-
-    @staticmethod
-    def _deadline_basis(
-        prediction: SelectionPrediction, drift: DriftDecision | None
-    ) -> float:
-        """GPU seconds the watchdog budgets from: the (healed) prediction."""
-        correction = drift.correction_gpu if drift is not None else 1.0
-        return prediction.gpu.seconds * correction
-
-    def _check_deadline(
-        self,
-        prediction: SelectionPrediction,
-        drift: DriftDecision | None,
-        observed_gpu_seconds: float,
-        launch_index: int,
-        attempt: int,
-    ) -> tuple[FaultEvent, float] | None:
-        """Kill a dispatch that overran its deadline; feed the breaker."""
-        basis = self._deadline_basis(prediction, drift)
-        deadline = self.watchdog.deadline(basis)
-        if observed_gpu_seconds <= deadline:
-            return None
-        err = DeadlineExceeded(
-            f"device time {observed_gpu_seconds:.3e}s exceeded watchdog "
-            f"deadline {deadline:.3e}s (predicted {basis:.3e}s x "
-            f"{self.watchdog.factor:g} + {self.watchdog.slack_s:g}s)",
-            device_name=self._accel.name,
-            launch_index=launch_index,
-            attempt=max(attempt, 1),
-            deadline_seconds=deadline,
-            observed_seconds=observed_gpu_seconds,
-        )
-        self.health.record_failure(err)
-        event = FaultEvent(
-            device_name=err.device_name,
-            launch_index=err.launch_index,
-            attempt=err.attempt,
-            error_type=type(err).__name__,
-            message=str(err),
-        )
-        return event, deadline
-
-    def _pre_dispatch_reroute(
-        self, prediction: SelectionPrediction | None
-    ) -> tuple[str, str | None]:
-        """Health feedback: skip an open-breaker device, penalize a flaky one."""
-        if not self.health.breaker.allows():
-            return "cpu", FALLBACK_BREAKER
-        if self.apply_health_penalty and prediction is not None:
-            penalty = self.health.penalty()
-            if (
-                penalty > 1.0
-                and prediction.gpu.seconds * penalty >= prediction.cpu.seconds
-            ):
-                return "cpu", FALLBACK_HEALTH
-        return "gpu", None
-
-    # -- observability ------------------------------------------------------
-    def _observe_sentinel(
-        self,
-        region_name: str,
-        prediction: SelectionPrediction,
-        cpu_seconds: float,
-        gpu_seconds: float,
-    ) -> None:
-        """Feed the sentinel; count verdict transitions when metrics are on."""
-        metrics = self.metrics
-        before = (
-            {
-                dev: self.sentinel.state(dev, region_name)
-                for dev in ("cpu", "gpu")
-            }
-            if metrics is not None
-            else None
-        )
-        self.sentinel.observe(
-            "cpu", region_name, prediction.cpu.seconds, cpu_seconds
-        )
-        self.sentinel.observe(
-            "gpu", region_name, prediction.gpu.seconds, gpu_seconds
-        )
-        if metrics is not None:
-            for dev in ("cpu", "gpu"):
-                after = self.sentinel.state(dev, region_name)
-                if after is not before[dev]:
-                    metrics.counter(
-                        "drift_transitions_total", device=dev, to=after.value
-                    ).inc()
-
-    def _record_metrics(self, record: LaunchRecord) -> None:
-        """Fold one launch's outcome into the registry (observe-only)."""
-        metrics = self.metrics
-        metrics.counter("launches_total", device=record.target).inc()
-        metrics.quantiles("dispatch_overhead_seconds").observe(
-            record.overhead_seconds
-        )
-        if record.admission is not None:
-            metrics.counter("admission_total", outcome=record.admission).inc()
-        if record.fallback is not None:
-            metrics.counter("fallbacks_total", reason=record.fallback).inc()
-        if record.attempts > 1:
-            metrics.counter("retries_total", device=self._accel.name).inc(
-                record.attempts - 1
-            )
-        for ev in record.fault_events:
-            metrics.counter("fault_events_total", type=ev.error_type).inc()
-        metrics.gauge("breaker_open_transitions", device=self._accel.name).set(
-            self.health.breaker.transitions.count("open")
-        )
-        if record.lint is not None:
-            metrics.counter("lint_findings_total", severity="error").inc(
-                record.lint.errors
-            )
-            metrics.counter("lint_findings_total", severity="warning").inc(
-                record.lint.warnings
-            )
-            if record.lint.blocked:
-                metrics.counter("lint_blocked_total").inc()
-        if record.drift is not None:
-            metrics.counter(
-                "drift_decisions_total", mode=record.drift.mode
-            ).inc()
-        if record.prediction is not None:
-            for device, predicted, observed in (
-                ("cpu", record.prediction.cpu.seconds, record.cpu_seconds),
-                ("gpu", record.prediction.gpu.seconds, record.gpu_seconds),
-            ):
-                if (
-                    predicted > 0.0
-                    and observed > 0.0
-                    and math.isfinite(predicted)
-                    and math.isfinite(observed)
-                ):
-                    metrics.histogram(
-                        "prediction_abs_log_error", device=device
-                    ).observe(abs(math.log10(predicted / observed)))
-        metrics.gauge("sim_clock_seconds").set(self.clock.now)

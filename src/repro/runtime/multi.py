@@ -41,22 +41,28 @@ from ..analysis import ProgramAttributeDatabase
 from ..calibrate import fit_model_calibration
 from ..drift import DriftSentinel, DriftState, Watchdog
 from ..faults import (
-    DeadlineExceeded,
     DeviceHealth,
     FaultEvent,
     FaultInjector,
     RetryPolicy,
     SimulatedClock,
-    dispatch_with_retries,
-    region_footprint_bytes,
 )
-from ..faults.resilient import FALLBACK_BREAKER, FALLBACK_DEADLINE
+from ..faults.resilient import FALLBACK_BREAKER
 from ..ir import Region
 from ..lint.gate import FALLBACK_LINT, GateDecision, LintGate, LintGateError
 from ..machines import AcceleratorSlot, Platform
 from ..models import SelectionPrediction, predict_both
 from ..obs import NULL_TRACER, MetricsRegistry, NullTracer, Tracer
 from .device import AcceleratorDevice, HostDevice
+from .dispatch import (
+    FALLBACK_BULKHEAD,
+    FALLBACK_HEDGE,
+    Budget,
+    Bulkhead,
+    DispatchCore,
+    HedgeOutcome,
+    HedgePolicy,
+)
 from .framework import ADMISSION_DEGRADED
 from .memo import ExecutionMemo
 
@@ -94,6 +100,7 @@ class MultiLaunchRecord:
     drift: tuple[tuple[str, str], ...] | None = None
     admission: str | None = None  # admission-control provenance (None = full path)
     transfers: str | None = None  # transfer sizing source (None = declared map)
+    hedge: HedgeOutcome | None = None  # hedged-launch provenance (None = no backup)
 
     def outcome_of(self, device_name: str) -> DeviceOutcome:
         for o in self.outcomes:
@@ -119,6 +126,8 @@ class MultiLaunchRecord:
 
     @property
     def executed_seconds(self) -> float:
+        if self.hedge is not None:
+            return self.hedge.completion_s
         return self.executed_outcome.measured_seconds + self.overhead_seconds
 
     @property
@@ -151,6 +160,11 @@ class MultiDeviceRuntime:
     #: so mixed dataset sizes never conflate into one residual stream.  Off
     #: by default (the historical keying the drift experiment pins).
     sentinel_stream_by_env: bool = False
+    #: optional per-device bounded scheduled-work slots; saturated
+    #: accelerators are skipped in the dispatch chain (FALLBACK_BULKHEAD).
+    bulkheads: Bulkhead | None = None
+    #: optional speculative host-backup policy (docs/ROBUSTNESS.md)
+    hedge: HedgePolicy | None = None
 
     def __post_init__(self):
         if not self.platform.accelerators:
@@ -175,6 +189,7 @@ class MultiDeviceRuntime:
             self.tracer.clock = self.clock  # span timestamps follow this runtime
         if self.sentinel is not None and self.sentinel.clock is None:
             self.sentinel.clock = self.clock  # drift transitions get timestamps
+        self._core = DispatchCore(self)
 
     def compile_region(self, region: Region):
         with self.tracer.activate():
@@ -199,13 +214,6 @@ class MultiDeviceRuntime:
             num_threads=self.num_threads,
             calibration=self._calibrations[view.name],
         )
-
-    def _sentinel_key(self, region_name: str, env: Mapping[str, int]) -> str:
-        """The drift-stream key for one launch (see sentinel_stream_by_env)."""
-        if not self.sentinel_stream_by_env:
-            return region_name
-        sizes = ",".join(f"{k}={env[k]}" for k in sorted(env))
-        return f"{region_name}@{sizes}"
 
     def _effective_predicted(
         self, outcome: DeviceOutcome, region_name: str | None = None
@@ -238,7 +246,11 @@ class MultiDeviceRuntime:
         return flagged or None
 
     def _dispatch(
-        self, region: Region, env: Mapping[str, int], candidates: list[DeviceOutcome]
+        self,
+        region: Region,
+        env: Mapping[str, int],
+        candidates: list[DeviceOutcome],
+        budget: Budget | None = None,
     ) -> tuple[str, int, tuple[FaultEvent, ...], float, str | None]:
         """Try candidates in order; the host (never faults) ends the chain."""
         attempts = 0
@@ -246,11 +258,7 @@ class MultiDeviceRuntime:
         overhead = 0.0
         reason: str | None = None
         attrs = self.db.lookup(region.name)
-        footprint_bytes = (
-            self.memo.footprint(attrs, env, region_footprint_bytes)
-            if self.memo is not None
-            else region_footprint_bytes(region, env)
-        )
+        core = self._core
         for cand in candidates:
             if cand.kind == "cpu":
                 return cand.device_name, attempts, tuple(events), overhead, reason
@@ -258,18 +266,19 @@ class MultiDeviceRuntime:
             if not health.breaker.allows():
                 reason = FALLBACK_BREAKER
                 continue
+            if core.bulkhead_blocks(cand.device_name):
+                reason = FALLBACK_BULKHEAD
+                continue
             index = self._accel_launches[cand.device_name]
             self._accel_launches[cand.device_name] += 1
             gpu = next(d for d in self._accels if d.name == cand.device_name)
-            result = dispatch_with_retries(
-                injector=self.injector,
-                retry=self.retry,
-                clock=self.clock,
+            result = core.attempt(
                 health=health,
-                device_name=cand.device_name,
+                device=gpu,
+                attrs=attrs,
+                env=env,
                 launch_index=index,
-                footprint_bytes=footprint_bytes,
-                memory_bytes=int(gpu.gpu.mem_size_gib * 2**30),
+                budget=budget,
             )
             attempts += result.attempts
             events.extend(result.fault_events)
@@ -279,28 +288,12 @@ class MultiDeviceRuntime:
             reason = result.reason
         raise AssertionError("host candidate must terminate the chain")
 
-    def _measure(self, device, attrs, env: Mapping[str, int]) -> float:
-        """One device's simulated seconds, memoized and dilation-scaled."""
-        if self.memo is not None:
-            seconds = self.memo.execution(device, attrs, env).seconds
-        else:
-            seconds = device.execute(attrs.region, env).seconds
-        if self.time_dilation is not None:
-            seconds *= self.time_dilation(device.kind)
-        return seconds
-
-    @staticmethod
-    def _transfer_provenance(bound) -> str | None:
-        """Record a transfer source only when it deviates from the default."""
-        mode = bound.transfer_mode
-        return None if mode == "declared" else mode
-
     def _launch_degraded(
         self, region_name: str, env: Mapping[str, int]
     ) -> MultiLaunchRecord:
         """The admission-degraded path: straight to the host, no models."""
         attrs = self.db.lookup(region_name)
-        host_seconds = self._measure(self._host, attrs, env)
+        host_seconds = self._core.measure(self._host, attrs, env)
         outcome = DeviceOutcome(
             device_name=self._host.name,
             kind="cpu",
@@ -320,6 +313,7 @@ class MultiDeviceRuntime:
         env: Mapping[str, int],
         *,
         force_target: str | None = None,
+        budget: Budget | None = None,
     ) -> MultiLaunchRecord:
         """Predict every candidate device, dispatch to the best that works.
 
@@ -339,14 +333,23 @@ class MultiDeviceRuntime:
             if force_target == "cpu":
                 record = self._launch_degraded(region_name, env)
             else:
-                record = self._launch(region_name, env, tracer)
+                record = self._launch(region_name, env, tracer, budget)
             if tracer.enabled:
                 span.set("chosen", record.chosen)
                 span.set("executed", record.executed_device or record.chosen)
                 if record.fallback is not None:
                     span.set("fallback", record.fallback)
         if self.metrics is not None:
-            self._record_metrics(record)
+            self._core.record_metrics(
+                record,
+                executed_device=record.executed_device or record.chosen,
+                retries_labels={},
+                healths=self.health.items(),
+                pred_triples=[
+                    (o.device_name, o.predicted_seconds, o.measured_seconds)
+                    for o in record.outcomes
+                ],
+            )
         return record
 
     def _launch(
@@ -354,15 +357,15 @@ class MultiDeviceRuntime:
         region_name: str,
         env: Mapping[str, int],
         tracer: Tracer | NullTracer,
+        budget: Budget | None = None,
     ) -> MultiLaunchRecord:
+        core = self._core
         attrs = self.db.lookup(region_name)
-        skey = self._sentinel_key(region_name, env)
-        bound = (
-            self.memo.bound(attrs, env) if self.memo is not None else attrs.bind(env)
-        )
+        skey = core.sentinel_key(region_name, env)
+        bound = core.bound(attrs, env)
 
         outcomes: list[DeviceOutcome] = []
-        host_seconds = self._measure(self._host, attrs, env)
+        host_seconds = core.measure(self._host, attrs, env)
         host_pred = None
         for slot, dev in zip(self.platform.accelerators, self._accels):
             with tracer.span(
@@ -387,7 +390,7 @@ class MultiDeviceRuntime:
                     device_name=dev.name,
                     kind="gpu",
                     predicted_seconds=pred.gpu.seconds,
-                    measured_seconds=self._measure(dev, attrs, env),
+                    measured_seconds=core.measure(dev, attrs, env),
                 )
             )
 
@@ -436,24 +439,46 @@ class MultiDeviceRuntime:
                     fallback=FALLBACK_LINT,
                     lint=lint_decision,
                     drift=self._observe_outcomes(skey, outcomes),
-                    transfers=self._transfer_provenance(bound),
+                    transfers=core.transfer_provenance(bound),
+                )
+
+            # Speculative host backup (docs/ROBUSTNESS.md): armed only when
+            # the chosen device is an accelerator whose prediction confidence
+            # is low — drift-flagged stream, half-open breaker, or a budget
+            # too poor to absorb another retry loop.
+            chosen_outcome = self.outcome_by_name(outcomes, chosen)
+            plan = None
+            if chosen_outcome.kind == "gpu":
+                plan = core.hedge_plan(
+                    device_name=chosen,
+                    region_name=region_name,
+                    env=env,
+                    drift_flagged=(
+                        self.sentinel is not None
+                        and self.sentinel.state(chosen, skey)
+                        is not DriftState.CALIBRATED
+                    ),
+                    half_open=core.half_open(self.health[chosen]),
+                    budget=budget,
+                    predicted_gpu_s=chosen_outcome.predicted_seconds,
                 )
 
             # Dispatch order: chosen first, then the remaining candidates by
             # effective prediction; the host terminates the chain.
             ranked = sorted(outcomes, key=effective)
-            order = [self.outcome_by_name(outcomes, chosen)]
+            order = [chosen_outcome]
             order += [
                 o for o in ranked if o.device_name != chosen and o.kind == "gpu"
             ]
             order += [o for o in ranked if o.kind == "cpu"]
             executed, attempts, events, overhead, reason = self._dispatch(
-                attrs.region, env, order
+                attrs.region, env, order, budget
             )
 
             # Watchdog: the executed accelerator's own (corrected) prediction
             # bounds how long the runtime lets it run; an overrun is killed at
-            # the deadline and the region reruns on the host.
+            # the deadline (tightened to any remaining budget) and the region
+            # reruns on the host.
             fallback = reason if executed != chosen else None
             executed_outcome = self.outcome_by_name(outcomes, executed)
             if (
@@ -463,37 +488,60 @@ class MultiDeviceRuntime:
                 predicted = executed_outcome.predicted_seconds
                 if self.sentinel is not None:
                     predicted *= self.sentinel.correction(executed, skey)
-                deadline = self.watchdog.deadline(predicted)
-                if executed_outcome.measured_seconds > deadline:
-                    err = DeadlineExceeded(
-                        f"device time {executed_outcome.measured_seconds:.3e}s "
-                        f"exceeded watchdog deadline {deadline:.3e}s",
-                        device_name=executed,
-                        launch_index=self._accel_launches[executed] - 1,
-                        attempt=max(attempts, 1),
-                        deadline_seconds=deadline,
-                        observed_seconds=executed_outcome.measured_seconds,
-                    )
-                    self.health[executed].record_failure(err)
-                    events = events + (
-                        FaultEvent(
-                            device_name=err.device_name,
-                            launch_index=err.launch_index,
-                            attempt=err.attempt,
-                            error_type=type(err).__name__,
-                            message=str(err),
-                        ),
-                    )
-                    overhead += deadline
-                    self.clock.advance(deadline)
+                killed = core.kill_overrun(
+                    health=self.health[executed],
+                    device_name=executed,
+                    basis_seconds=predicted,
+                    observed_seconds=executed_outcome.measured_seconds,
+                    launch_index=self._accel_launches[executed] - 1,
+                    attempt=max(attempts, 1),
+                    budget=budget,
+                )
+                if killed is not None:
+                    event, burned, fallback = killed
+                    events = events + (event,)
+                    overhead += burned
                     executed = self._host.name
-                    fallback = FALLBACK_DEADLINE
+
+            # Resolve the armed backup against whatever the chain produced.
+            # The race is only well-defined against the chosen primary (ok)
+            # or the serial host fallback (primary dead); a reroute onto a
+            # *different* accelerator leaves the hedge unresolved (None).
+            hedge: HedgeOutcome | None = None
+            if plan is not None:
+                host = next(o for o in outcomes if o.kind == "cpu")
+                if executed == chosen:
+                    hedge = core.hedge_resolve(
+                        plan,
+                        primary_ok=True,
+                        primary_seconds=executed_outcome.measured_seconds,
+                        backup_seconds=host.measured_seconds,
+                        overhead_seconds=overhead,
+                    )
+                    if hedge is not None and hedge.winner == "backup":
+                        executed = host.device_name
+                        fallback = FALLBACK_HEDGE
+                elif executed == host.device_name:
+                    hedge = core.hedge_resolve(
+                        plan,
+                        primary_ok=False,
+                        primary_seconds=0.0,
+                        backup_seconds=host.measured_seconds,
+                        overhead_seconds=overhead,
+                    )
+            for o in outcomes:
+                if o.kind == "gpu":
+                    core.hedge_observe(
+                        o.device_name, region_name, env, o.measured_seconds
+                    )
 
             if tracer.enabled:
                 dspan.set("executed", executed)
                 dspan.set("attempts", attempts)
                 if fallback is not None:
                     dspan.set("fallback", fallback)
+                if hedge is not None:
+                    dspan.set("hedge_winner", hedge.winner)
                 for ev in events:
                     dspan.event(
                         "fault",
@@ -512,59 +560,9 @@ class MultiDeviceRuntime:
                 overhead_seconds=overhead,
                 lint=lint_decision,
                 drift=self._observe_outcomes(skey, outcomes),
-                transfers=self._transfer_provenance(bound),
+                transfers=core.transfer_provenance(bound),
+                hedge=hedge,
             )
-
-    # -- observability ------------------------------------------------------
-    def _record_metrics(self, record: MultiLaunchRecord) -> None:
-        """Fold one launch's outcome into the registry (observe-only)."""
-        metrics = self.metrics
-        executed = record.executed_device or record.chosen
-        metrics.counter("launches_total", device=executed).inc()
-        metrics.quantiles("dispatch_overhead_seconds").observe(
-            record.overhead_seconds
-        )
-        if record.admission is not None:
-            metrics.counter("admission_total", outcome=record.admission).inc()
-        if record.fallback is not None:
-            metrics.counter("fallbacks_total", reason=record.fallback).inc()
-        if record.attempts > 1:
-            metrics.counter("retries_total").inc(record.attempts - 1)
-        for ev in record.fault_events:
-            metrics.counter("fault_events_total", type=ev.error_type).inc()
-        for name, health in self.health.items():
-            metrics.gauge("breaker_open_transitions", device=name).set(
-                health.breaker.transitions.count("open")
-            )
-        if record.lint is not None:
-            metrics.counter("lint_findings_total", severity="error").inc(
-                record.lint.errors
-            )
-            metrics.counter("lint_findings_total", severity="warning").inc(
-                record.lint.warnings
-            )
-            if record.lint.blocked:
-                metrics.counter("lint_blocked_total").inc()
-        if record.drift is not None:
-            for device, state in record.drift:
-                metrics.counter(
-                    "drift_flagged_total", device=device, state=state
-                ).inc()
-        for outcome in record.outcomes:
-            predicted, observed = (
-                outcome.predicted_seconds,
-                outcome.measured_seconds,
-            )
-            if (
-                predicted > 0.0
-                and observed > 0.0
-                and math.isfinite(predicted)
-                and math.isfinite(observed)
-            ):
-                metrics.histogram(
-                    "prediction_abs_log_error", device=outcome.device_name
-                ).observe(abs(math.log10(predicted / observed)))
-        metrics.gauge("sim_clock_seconds").set(self.clock.now)
 
     @staticmethod
     def outcome_by_name(
