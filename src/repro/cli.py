@@ -15,6 +15,7 @@ Installed as ``repro-paper`` (see pyproject.toml), or run as
     repro-paper hedge --tiny           # hedged-dispatch budget x chaos grid
     repro-paper trace --format json -o trace.json   # Chrome trace of a sweep
     repro-paper trace --jobs 4                 # parallel sweep, same output
+    repro-paper table1 --jobs 4 --chunk 6      # chunked warm-worker sweep
     repro-paper table1 --cache-dir .cache      # reuse analysis across runs
     repro-paper cache stats                    # inspect the analysis cache
     repro-paper probe tlb|gpu|epcc
@@ -28,7 +29,7 @@ import os
 import sys
 
 from .machines import POWER9, TESLA_V100, platform_by_name
-from .parallel import JOBS_ENV, AnalysisCache, default_cache_dir
+from .parallel import CHUNK_ENV, JOBS_ENV, AnalysisCache, default_cache_dir
 from .util import add_format_argument, emit_rows
 
 __all__ = ["main", "build_parser"]
@@ -205,6 +206,7 @@ def _cmd_trace(args) -> int:
         benchmarks=args.benchmarks or None,
         num_threads=args.threads,
         jobs=args.jobs,
+        chunk=args.chunk,
     )
     out = result.chrome_json() if args.format == "json" else result.render()
     if args.output:
@@ -236,6 +238,8 @@ def _cmd_replay(args) -> int:
         utilization=args.utilization,
         overload_utilization=args.overload_utilization,
         capacity=args.capacity,
+        jobs=args.jobs,
+        chunk=args.chunk,
         **extra,
     )
     out = (
@@ -327,7 +331,7 @@ def _cmd_probe(args) -> int:
 
 
 def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
-    """``--jobs`` / ``--cache-dir`` knobs shared by sweep-running commands."""
+    """``--jobs``/``--chunk``/``--cache-dir`` knobs for sweep commands."""
     parser.add_argument(
         "--jobs",
         type=int,
@@ -335,6 +339,15 @@ def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
         help=(
             "worker processes for suite sweeps "
             f"(default: ${JOBS_ENV}, else 1 = sequential)"
+        ),
+    )
+    parser.add_argument(
+        "--chunk",
+        type=int,
+        default=None,
+        help=(
+            "cases per worker batch "
+            f"(default: ${CHUNK_ENV}, else ceil(n_cases/jobs))"
         ),
     )
     parser.add_argument(
@@ -483,6 +496,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the report to a file instead of stdout",
     )
+    _add_parallel_arguments(replay)
     add_format_argument(replay)
     replay.set_defaults(func=_cmd_replay)
 
@@ -569,25 +583,30 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code.
 
-    ``--jobs`` is exported as ``$REPRO_JOBS`` so every sweep the command
-    runs (and every worker it forks) picks it up; ``--cache-dir``
-    activates a persistent :class:`AnalysisCache` for the command's
-    duration.  Both are restored afterwards so embedding callers (tests)
-    see no leaked state.
+    ``--jobs``/``--chunk`` are exported as ``$REPRO_JOBS``/``$REPRO_CHUNK``
+    so every sweep the command runs (and every worker it forks) picks
+    them up; ``--cache-dir`` activates a persistent
+    :class:`AnalysisCache` for the command's duration.  All are restored
+    afterwards so embedding callers (tests) see no leaked state.
     """
     args = build_parser().parse_args(argv)
     with contextlib.ExitStack() as stack:
-        jobs = getattr(args, "jobs", None)
-        if jobs is not None:
-            prev = os.environ.get(JOBS_ENV)
-            os.environ[JOBS_ENV] = str(jobs)
+
+        def export(env: str, value) -> None:
+            prev = os.environ.get(env)
+            os.environ[env] = str(value)
             stack.callback(
                 lambda: (
-                    os.environ.pop(JOBS_ENV, None)
+                    os.environ.pop(env, None)
                     if prev is None
-                    else os.environ.__setitem__(JOBS_ENV, prev)
+                    else os.environ.__setitem__(env, prev)
                 )
             )
+
+        if getattr(args, "jobs", None) is not None:
+            export(JOBS_ENV, args.jobs)
+        if getattr(args, "chunk", None) is not None:
+            export(CHUNK_ENV, args.chunk)
         cache_dir = getattr(args, "cache_dir", None)
         if cache_dir and args.func is not _cmd_cache:
             stack.enter_context(AnalysisCache(cache_dir).activate())

@@ -44,6 +44,7 @@ import math
 from dataclasses import dataclass
 
 from ..machines import PLATFORM_P9_V100, Platform
+from ..parallel import SweepEngine
 from ..replay import (
     AdmissionConfig,
     ChaosSchedule,
@@ -58,6 +59,7 @@ from ..replay import (
 )
 from ..runtime import ExecutionMemo
 from ..util import render_table
+from .common import _resolve_platform
 
 __all__ = [
     "MAX_ACCURACY_DROP",
@@ -290,6 +292,146 @@ def _probe_mean_service(
     return sum(r.executed_seconds for r in records) / len(records)
 
 
+def _scenario_outcome(
+    name: str,
+    *,
+    platform: Platform,
+    seed: int,
+    workload: WorkloadConfig,
+    overload_workload: WorkloadConfig,
+    requests,
+    w_start: float,
+    w_stop: float,
+    margin: float,
+    capacity: int,
+    policy: MemoizedPolicy,
+    memo: ExecutionMemo,
+) -> tuple[str, ReplayScore, dict, "ReplayScore | None"]:
+    """One scenario's (flavour, score, outcome_counts, unhedged twin).
+
+    The single scenario body shared by the sequential loop (which passes
+    the run-wide memo/policy/requests) and by the parallel worker task
+    (which rebuilds the same inputs deterministically from scalars), so
+    the two paths cannot drift.
+    """
+
+    def chaos_for(kind: str) -> ChaosSchedule:
+        # the chaos scenario names coincide with the window kinds
+        window = ChaosWindow(
+            name=kind,
+            kind=kind,
+            start_s=w_start,
+            stop_s=w_stop,
+            probability=0.75 if kind == "fault-storm" else 0.35,
+            gpu_scale=6.0 if kind == "hw-drift" else 1.0,
+        )
+        return ChaosSchedule(windows=(window,), seed=seed)
+
+    unhedged = None
+    if name == "hedged-chaos":
+        # the hedged arm and its unhedged twin share the trace and
+        # the fault-storm chaos; the *only* delta is the HedgePolicy,
+        # so the chaos-tail p99 comparison is causal
+        flavour = "hedged"
+        run = ReplayEngine(
+            ReplayConfig(
+                platform=platform,
+                workload=workload,
+                chaos=chaos_for("fault-storm"),
+                hedge=True,
+            ),
+            policy=policy,
+            memo=memo,
+        ).run(requests=requests)
+        score = score_run(run, recovery_margin_s=margin)
+        plain = ReplayEngine(
+            ReplayConfig(
+                platform=platform,
+                workload=workload,
+                chaos=chaos_for("fault-storm"),
+            ),
+            policy=policy,
+            memo=memo,
+        ).run(requests=requests)
+        unhedged = score_run(plain, recovery_margin_s=margin)
+    elif name in _OVERLOAD_POLICIES:
+        flavour = "overload"
+        cfg = ReplayConfig(
+            platform=platform,
+            workload=overload_workload,
+            admission=AdmissionConfig(
+                capacity=capacity,
+                policy=_OVERLOAD_POLICIES[name],
+                defer_capacity=max(capacity * 8, 64),
+            ),
+        )
+        run = ReplayEngine(cfg, policy=policy, memo=memo).run()
+        score = score_run(run)
+    else:
+        flavour = "baseline" if name == "steady" else "chaos"
+        cfg = ReplayConfig(
+            platform=platform,
+            workload=workload,
+            chaos=(ChaosSchedule() if name == "steady" else chaos_for(name)),
+        )
+        run = ReplayEngine(cfg, policy=policy, memo=memo).run(
+            requests=requests
+        )
+        score = score_run(run, recovery_margin_s=margin)
+    return flavour, score, run.outcome_counts(), unhedged
+
+
+def _replay_scenario_task(
+    task: tuple,
+) -> tuple[str, ReplayScore, dict, "ReplayScore | None"]:
+    """Worker task: one replay scenario, rebuilt from shipped scalars.
+
+    Only the platform *name* and a handful of floats/ints travel with
+    the chunk; the worker regenerates the identical seeded trace and
+    chaos windows (``generate_requests`` is deterministic in the
+    workload config) with its own fresh memo/policy, so scores are
+    bit-identical to the sequential loop's.
+    """
+    (
+        plat_name,
+        name,
+        launches,
+        seed,
+        utilization,
+        overload_utilization,
+        capacity,
+        mean_service,
+    ) = task
+    platform = _resolve_platform(plat_name)
+    workload = WorkloadConfig(
+        launches=launches,
+        seed=seed,
+        mean_interarrival_s=mean_service / utilization,
+    )
+    requests = generate_requests(workload)
+    w_start = requests[int(0.45 * launches)].arrival_s
+    w_stop = requests[int(0.55 * launches)].arrival_s
+    overload_workload = WorkloadConfig(
+        launches=launches,
+        seed=seed,
+        mean_interarrival_s=mean_service / overload_utilization,
+    )
+    return _scenario_outcome(
+        name,
+        platform=platform,
+        seed=seed,
+        workload=workload,
+        overload_workload=overload_workload,
+        requests=requests,
+        w_start=w_start,
+        w_stop=w_stop,
+        margin=w_stop - w_start,
+        capacity=capacity,
+        policy=MemoizedPolicy(),
+        memo=ExecutionMemo(),
+    )
+
+
 def run_replay(
     *,
     launches: int = 20_000,
@@ -299,8 +441,16 @@ def run_replay(
     overload_utilization: float = 3.0,
     capacity: int = 32,
     scenarios: tuple[str, ...] = REPLAY_SCENARIOS,
+    jobs: int | None = None,
+    chunk: int | None = None,
 ) -> ReplayResult:
-    """Run the scenario grid over one calibrated trace."""
+    """Run the scenario grid over one calibrated trace.
+
+    ``jobs``/``chunk`` fan whole scenarios over the persistent
+    warm-worker pool; rows come back in scenario-declaration order with
+    payloads identical to the sequential loop (each worker regenerates
+    the same seeded trace from the shipped scalars).
+    """
     unknown = set(scenarios) - set(REPLAY_SCENARIOS)
     if unknown:
         raise ValueError(f"unknown scenarios {sorted(unknown)}")
@@ -325,80 +475,53 @@ def run_replay(
     w_stop = requests[int(0.55 * launches)].arrival_s
     margin = w_stop - w_start  # recovery margin: one window length
 
-    def chaos_for(kind: str) -> ChaosSchedule:
-        # the chaos scenario names coincide with the window kinds
-        window = ChaosWindow(
-            name=kind,
-            kind=kind,
-            start_s=w_start,
-            stop_s=w_stop,
-            probability=0.75 if kind == "fault-storm" else 0.35,
-            gpu_scale=6.0 if kind == "hw-drift" else 1.0,
-        )
-        return ChaosSchedule(windows=(window,), seed=seed)
-
     overload_workload = WorkloadConfig(
         launches=launches,
         seed=seed,
         mean_interarrival_s=mean_service / overload_utilization,
     )
 
+    engine = SweepEngine(jobs, chunk=chunk)
+    if engine.parallel:
+        outcomes = engine.map(
+            _replay_scenario_task,
+            [
+                (
+                    platform.name,
+                    name,
+                    launches,
+                    seed,
+                    utilization,
+                    overload_utilization,
+                    capacity,
+                    mean_service,
+                )
+                for name in scenarios
+            ],
+            labels=list(scenarios),
+        )
+    else:
+        outcomes = [
+            _scenario_outcome(
+                name,
+                platform=platform,
+                seed=seed,
+                workload=workload,
+                overload_workload=overload_workload,
+                requests=requests,
+                w_start=w_start,
+                w_stop=w_stop,
+                margin=margin,
+                capacity=capacity,
+                policy=policy,
+                memo=memo,
+            )
+            for name in scenarios
+        ]
+
     rows: list[ReplayRow] = []
     baseline_steady = math.nan
-    for name in scenarios:
-        unhedged = None
-        if name == "hedged-chaos":
-            # the hedged arm and its unhedged twin share the trace and
-            # the fault-storm chaos; the *only* delta is the HedgePolicy,
-            # so the chaos-tail p99 comparison is causal
-            flavour = "hedged"
-            run = ReplayEngine(
-                ReplayConfig(
-                    platform=platform,
-                    workload=workload,
-                    chaos=chaos_for("fault-storm"),
-                    hedge=True,
-                ),
-                policy=policy,
-                memo=memo,
-            ).run(requests=requests)
-            score = score_run(run, recovery_margin_s=margin)
-            plain = ReplayEngine(
-                ReplayConfig(
-                    platform=platform,
-                    workload=workload,
-                    chaos=chaos_for("fault-storm"),
-                ),
-                policy=policy,
-                memo=memo,
-            ).run(requests=requests)
-            unhedged = score_run(plain, recovery_margin_s=margin)
-        elif name in _OVERLOAD_POLICIES:
-            flavour = "overload"
-            cfg = ReplayConfig(
-                platform=platform,
-                workload=overload_workload,
-                admission=AdmissionConfig(
-                    capacity=capacity,
-                    policy=_OVERLOAD_POLICIES[name],
-                    defer_capacity=max(capacity * 8, 64),
-                ),
-            )
-            run = ReplayEngine(cfg, policy=policy, memo=memo).run()
-            score = score_run(run)
-        else:
-            flavour = "baseline" if name == "steady" else "chaos"
-            cfg = ReplayConfig(
-                platform=platform,
-                workload=workload,
-                chaos=(
-                    ChaosSchedule() if name == "steady" else chaos_for(name)
-                ),
-            )
-            run = ReplayEngine(cfg, policy=policy, memo=memo).run(
-                requests=requests
-            )
-            score = score_run(run, recovery_margin_s=margin)
+    for name, (flavour, score, counts, unhedged) in zip(scenarios, outcomes):
         if name == "steady":
             baseline_steady = score.steady_accuracy
         rows.append(
@@ -408,7 +531,7 @@ def run_replay(
                 score=score,
                 baseline_steady_accuracy=baseline_steady,
                 capacity=capacity if flavour == "overload" else None,
-                outcome_counts=run.outcome_counts(),
+                outcome_counts=counts,
                 unhedged=unhedged,
             )
         )

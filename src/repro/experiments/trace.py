@@ -98,15 +98,17 @@ def run_trace(
     benchmarks: list[str] | None = None,
     num_threads: int | None = None,
     jobs: int | None = None,
+    chunk: int | None = None,
 ) -> TraceResult:
     """Compile + launch every (selected) suite region with observability on.
 
-    With ``jobs > 1`` each benchmark's sweep runs in a pool worker;
-    launch records come back in suite-declaration order (bit-identical
-    to sequential), worker metrics merge into the same totals, and
-    worker spans are spliced into one trace with rebased timestamps
-    (deterministic run-to-run, but not byte-identical to the sequential
-    trace, whose single clock accumulates across benchmarks).
+    With ``jobs > 1`` the benchmarks are chunked over the persistent
+    warm-worker pool (``chunk`` / ``$REPRO_CHUNK`` overrides the batch
+    size); launch records come back in suite-declaration order
+    (bit-identical to sequential), worker metrics merge into the same
+    totals, and worker spans are spliced into one trace with rebased
+    timestamps (deterministic run-to-run, but not byte-identical to the
+    sequential trace, whose single clock accumulates across benchmarks).
     """
     plat = _resolve_platform(platform)
     specs = (
@@ -114,11 +116,12 @@ def run_trace(
         if benchmarks
         else list(SUITE)
     )
-    engine = SweepEngine(jobs)
+    engine = SweepEngine(jobs, chunk=chunk)
     if engine.parallel:
         sweep = engine.map_obs(
             _trace_benchmark,
             [(plat.name, mode, spec.name, num_threads) for spec in specs],
+            labels=[spec.name for spec in specs],
         )
         names = [n for group_names, _ in sweep.values for n in group_names]
         records = [r for _, group_records in sweep.values for r in group_records]

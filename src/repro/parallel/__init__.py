@@ -2,9 +2,13 @@
 
 Two cooperating subsystems that make suite sweeps scale:
 
-* :class:`SweepEngine` — fans kernel cases over a process pool and
-  deterministically merges results, per-worker metrics and trace spans
-  back into case-declaration order (``--jobs N`` / ``$REPRO_JOBS``);
+* :class:`SweepEngine` — fans chunked case batches over **persistent
+  warm workers** (pools survive across sweep calls; workers hold a
+  process-local analysis cache and ship the entries they compute back
+  to the parent store) and deterministically merges results, per-worker
+  metrics and trace spans back into case-declaration order
+  (``--jobs N`` / ``$REPRO_JOBS``, chunking via ``--chunk`` /
+  ``$REPRO_CHUNK``);
 * :class:`AnalysisCache` — a persistent, content-addressed store (JSON
   records keyed by SHA-256 over canonical region IR + machine-model
   fingerprint + package version) that memoizes compile/IPDA/MCA
@@ -26,31 +30,47 @@ from .cache import (
     machine_fingerprint,
     region_cache_key,
 )
+from .chunks import (
+    CHUNK_ENV,
+    auto_chunk_size,
+    partition_chunks,
+    resolve_chunk,
+)
 from .engine import (
     JOBS_ENV,
+    ChunkFailure,
     ObsTaskResult,
     SweepEngine,
     SweepObsResult,
     merge_tracer_payloads,
+    register_prefork_warmup,
     resolve_jobs,
+    shutdown_pools,
     tracer_payload,
 )
 
 __all__ = [
     "AnalysisCache",
     "CACHE_DIR_ENV",
+    "CHUNK_ENV",
+    "ChunkFailure",
     "JOBS_ENV",
     "NULL_CACHE",
     "NullCache",
     "ObsTaskResult",
     "SweepEngine",
     "SweepObsResult",
+    "auto_chunk_size",
     "compute_key",
     "current_cache",
     "default_cache_dir",
     "machine_fingerprint",
     "merge_tracer_payloads",
+    "partition_chunks",
     "region_cache_key",
+    "register_prefork_warmup",
+    "resolve_chunk",
     "resolve_jobs",
+    "shutdown_pools",
     "tracer_payload",
 ]

@@ -1,5 +1,21 @@
 """Shared pytest configuration for the repro test suite."""
 
+import pytest
+
+from repro.parallel import shutdown_pools
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _shutdown_worker_pools():
+    """Tear down persistent warm-worker pools when the session ends.
+
+    Pools outlive individual sweeps by design; an orderly shutdown lets
+    worker processes flush coverage data and keeps the atexit path from
+    racing interpreter teardown under pytest-cov.
+    """
+    yield
+    shutdown_pools()
+
 
 def pytest_addoption(parser):
     parser.addoption(

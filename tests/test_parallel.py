@@ -11,15 +11,20 @@ output divergence, not a float-repr artefact.
 
 import json
 import time
+from pathlib import Path
 
 import pytest
 
 from repro.experiments.common import clear_caches, measure_suite, predict_suite
+from repro.experiments.replay import run_replay
 from repro.experiments.trace import run_trace
 from repro.obs import MetricsRegistry, Tracer
 from repro.parallel import (
+    CHUNK_ENV,
+    AnalysisCache,
     ObsTaskResult,
     SweepEngine,
+    current_cache,
     merge_tracer_payloads,
     resolve_jobs,
     tracer_payload,
@@ -83,6 +88,28 @@ def _obs_task(index):
         metrics=metrics.snapshot(),
         trace=tracer_payload(tracer),
     )
+
+
+def _stamped_cached_task(task):
+    """Compute through the worker's analysis cache, stamping each compute.
+
+    Touches ``compute-<index>`` in ``stamp_dir`` every time the compute
+    callback actually runs — so the stamp files on disk are an exact
+    census of which values were *computed* rather than replayed from
+    shipped cache entries.
+    """
+    from repro.machines import platform_by_name
+
+    stamp_dir, index = task
+
+    def compute():
+        Path(stamp_dir, f"compute-{index}").touch()
+        return [index * index]
+
+    value = current_cache().get_or_compute(
+        "test.ship", {"index": index}, platform_by_name("p9-v100"), compute
+    )
+    return value[0]
 
 
 def _selection_fragment(task):
@@ -248,6 +275,117 @@ class TestDifferentialTrace:
         stamps = [s.start_ts for s in result.tracer.spans]
         assert stamps == sorted(stamps)
         assert len(set(stamps)) == len(stamps)
+
+
+@pytest.fixture(scope="module")
+def sequential_canon():
+    """Sequential canonical sweep strings, computed once for the module."""
+    clear_caches()
+    ms = canon_measurements(measure_suite("p9-v100", "test"))
+    ps = canon_predictions(predict_suite("p9-v100", "test"))
+    clear_caches()
+    return ms, ps
+
+
+class TestDifferentialChunked:
+    """Chunked parallel sweeps are byte-identical to sequential.
+
+    The full jobs x chunk grid from the issue: explicit tiny chunks
+    (maximum IPC), the auto ``ceil(n/jobs)`` size, and a chunk larger
+    than the whole grid (one chunk, jobs-1 idle workers).
+    """
+
+    @pytest.mark.parametrize("chunk", [1, 3, None, 10_000])
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    def test_measure_and_predict_bitwise(self, sequential_canon, jobs, chunk):
+        seq_ms, seq_ps = sequential_canon
+        par_ms = canon_measurements(
+            measure_suite("p9-v100", "test", jobs=jobs, chunk=chunk)
+        )
+        par_ps = canon_predictions(
+            predict_suite("p9-v100", "test", jobs=jobs, chunk=chunk)
+        )
+        assert par_ms == seq_ms
+        assert par_ps == seq_ps
+
+    def test_chunk_env_fallback(self, monkeypatch, sequential_canon):
+        seq_ms, _ = sequential_canon
+        monkeypatch.setenv(CHUNK_ENV, "3")
+        assert SweepEngine(2).chunk == 3
+        par_ms = canon_measurements(measure_suite("p9-v100", "test", jobs=2))
+        assert par_ms == seq_ms
+
+    def test_chunk_env_garbage_degrades_to_auto(self, monkeypatch):
+        monkeypatch.setenv(CHUNK_ENV, "several")
+        assert SweepEngine(2).chunk is None
+
+    def test_explicit_chunk_beats_env(self, monkeypatch):
+        monkeypatch.setenv(CHUNK_ENV, "3")
+        assert SweepEngine(2, chunk=5).chunk == 5
+
+    def test_warm_cache_chunked_bitwise(self, sequential_canon, tmp_path):
+        """Parallel + persistent cache: populate, then replay, stay equal.
+
+        The parent absorbs the workers' shipped entries into the
+        activated disk cache, so the follow-up sequential replay must be
+        pure cache service: zero misses, every value decoded from the
+        store, byte-identical rows.
+        """
+        seq_ms, seq_ps = sequential_canon
+        cache_dir = str(tmp_path / "cache")
+        warm = AnalysisCache(cache_dir)
+        with warm.activate():
+            par_ms = canon_measurements(
+                measure_suite("p9-v100", "test", jobs=2, chunk=3)
+            )
+            par_ps = canon_predictions(
+                predict_suite("p9-v100", "test", jobs=2, chunk=3)
+            )
+        assert par_ms == seq_ms
+        assert par_ps == seq_ps
+        # the parent cache absorbed the workers' entries: a sequential
+        # warm replay serves every value from the store, bit-identically
+        clear_caches(persistent=False)
+        replay = AnalysisCache(cache_dir)
+        with replay.activate():
+            warm_ms = canon_measurements(measure_suite("p9-v100", "test"))
+            warm_ps = canon_predictions(predict_suite("p9-v100", "test"))
+        assert warm_ms == seq_ms
+        assert warm_ps == seq_ps
+        assert replay.hits > 0
+        assert replay.misses == 0
+
+
+class TestCacheEntryShipping:
+    """Warm state propagates: entries computed once never recompute."""
+
+    def test_second_sweep_recomputes_nothing(self, tmp_path):
+        stamps = tmp_path / "stamps"
+        stamps.mkdir()
+        items = [(str(stamps), i) for i in range(6)]
+        engine = SweepEngine(2, chunk=1)
+        first = engine.map(_stamped_cached_task, items)
+        assert first == [i * i for i in range(6)]
+        after_first = sorted(p.name for p in stamps.iterdir())
+        assert after_first == sorted(f"compute-{i}" for i in range(6))
+        # different chunking lands cases on *different* slots: values must
+        # arrive via the parent store broadcast, not slot-local memory
+        again = SweepEngine(2, chunk=3).map(_stamped_cached_task, items)
+        assert again == first
+        assert sorted(p.name for p in stamps.iterdir()) == after_first
+
+
+class TestDifferentialReplay:
+    """run_replay(jobs=N) rows match the sequential scenario loop."""
+
+    SCENARIOS = ("steady", "fault-storm", "overload-reject")
+
+    def test_replay_rows_match_sequential(self):
+        kwargs = dict(launches=400, seed=7, scenarios=self.SCENARIOS)
+        seq = run_replay(**kwargs)
+        par = run_replay(jobs=2, **kwargs)
+        assert [r.scenario for r in par.rows] == list(self.SCENARIOS)
+        assert par == seq
 
 
 class TestGoldenSelectionParallel:
