@@ -259,6 +259,44 @@ def _cmd_replay(args) -> int:
     return 0 if result.passed else 1
 
 
+def _cmd_service(args) -> int:
+    from .experiments import run_service
+    from .util import emit_json
+
+    launches = 2_000 if args.tiny else args.launches
+    extra = {}
+    if args.scenarios:
+        extra["scenarios"] = tuple(
+            s.strip() for s in args.scenarios.split(",") if s.strip()
+        )
+    result = run_service(
+        launches=launches,
+        seed=args.seed,
+        platform=platform_by_name(args.platform),
+        tenants=args.tenants,
+        utilization=args.utilization,
+        burst_utilization=args.burst_utilization,
+        jobs=args.jobs,
+        chunk=args.chunk,
+        **extra,
+    )
+    out = (
+        emit_json(result.to_payload())
+        if args.format == "json"
+        else result.render()
+    )
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(out + "\n")
+        print(
+            f"wrote service {args.format} report "
+            f"({launches} requests/scenario) to {args.output}"
+        )
+    else:
+        print(out)
+    return 0 if result.passed else 1
+
+
 def _cmd_hedge(args) -> int:
     from .experiments import run_hedge
     from .util import emit_json
@@ -499,6 +537,60 @@ def build_parser() -> argparse.ArgumentParser:
     _add_parallel_arguments(replay)
     add_format_argument(replay)
     replay.set_defaults(func=_cmd_replay)
+
+    service = sub.add_parser(
+        "service",
+        help=(
+            "replay a multi-tenant trace through the offload service, "
+            "twinned against the legacy FIFO (exit 1 when a self-check "
+            "fails)"
+        ),
+    )
+    service.add_argument("--platform", default="p9-v100")
+    service.add_argument(
+        "--launches",
+        type=int,
+        default=20_000,
+        help="requests per scenario (default: 20000)",
+    )
+    service.add_argument("--seed", type=int, default=0)
+    service.add_argument(
+        "--tenants",
+        type=int,
+        default=3,
+        help="concurrent tenants issuing the trace (default: 3)",
+    )
+    service.add_argument(
+        "--utilization",
+        type=float,
+        default=0.6,
+        help="steady-state offered load (default: 0.6)",
+    )
+    service.add_argument(
+        "--burst-utilization",
+        type=float,
+        default=1.6,
+        help="offered load of the burst scenarios (default: 1.6)",
+    )
+    service.add_argument(
+        "--tiny",
+        action="store_true",
+        help="2000-request smoke grid (the CI target)",
+    )
+    service.add_argument(
+        "--scenarios",
+        default=None,
+        help="comma-separated subset of the tenant-mix × load-shape grid",
+    )
+    service.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="write the report to a file instead of stdout",
+    )
+    _add_parallel_arguments(service)
+    add_format_argument(service)
+    service.set_defaults(func=_cmd_service)
 
     hedge = sub.add_parser(
         "hedge",

@@ -40,6 +40,12 @@ from .replay import (
     ReplayRow,
     run_replay,
 )
+from .service import (
+    SERVICE_SCENARIOS,
+    ServiceResult,
+    ServiceRow,
+    run_service,
+)
 from .trace import TraceResult, run_trace
 from .transfers import (
     ScenarioOutcome,
@@ -71,6 +77,10 @@ __all__ = [
     "ReplayResult",
     "ReplayRow",
     "run_replay",
+    "SERVICE_SCENARIOS",
+    "ServiceResult",
+    "ServiceRow",
+    "run_service",
     "BUDGET_FACTORS",
     "HEDGE_FLAVOURS",
     "HedgeCell",

@@ -23,7 +23,8 @@ from .engine import (
     ReplayOutcome,
     ReplayRun,
 )
-from .score import ReplayScore, WindowScore, score_run
+from .score import ReplayScore, TenantScore, WindowScore, score_run
+from .service import DeviceLane, OffloadService, ServiceConfig, ServiceStats
 from .workload import (
     CaseSpec,
     LaunchRequest,
@@ -40,13 +41,18 @@ __all__ = [
     "CaseSpec",
     "ChaosSchedule",
     "ChaosWindow",
+    "DeviceLane",
     "LaunchRequest",
     "MemoizedPolicy",
+    "OffloadService",
     "ReplayConfig",
     "ReplayEngine",
     "ReplayOutcome",
     "ReplayRun",
     "ReplayScore",
+    "ServiceConfig",
+    "ServiceStats",
+    "TenantScore",
     "WindowScore",
     "WorkloadConfig",
     "build_catalog",

@@ -43,6 +43,7 @@ from ..runtime import (
 )
 from .admission import AdmissionConfig, AdmissionQueue
 from .chaos import ChaosSchedule
+from .service import OffloadService, ServiceConfig
 from .workload import LaunchRequest, WorkloadConfig, build_catalog, generate_requests
 
 __all__ = [
@@ -109,6 +110,10 @@ class ReplayOutcome:
     outcome: str  # "ok" | "resumed" | "degraded" | "shed" | "expired"
     start_s: float | None = None  # service start (None when never launched)
     record: object | None = None  # LaunchRecord / MultiLaunchRecord / None
+    #: pipeline completion (D2H done) — only the offload service models
+    #: phase overlap, so the legacy path leaves it None and the scorer
+    #: falls back to start + executed_seconds
+    finish_s: float | None = None
 
     @property
     def launched(self) -> bool:
@@ -148,6 +153,12 @@ class ReplayConfig:
     #: bounded scheduled-work slots per device (a Bulkhead on the
     #: runtime); saturated devices reroute pre-dispatch.  None = off.
     bulkhead_slots: int | None = None
+    #: drive the trace through the multi-tenant :class:`OffloadService`
+    #: (per-device admission lanes, batching, phase overlap) instead of
+    #: the legacy single-server FIFO.  Off by default — the differential
+    #: suite pins that the default stays byte-identical.
+    service: bool = False
+    service_config: ServiceConfig = field(default_factory=ServiceConfig)
 
 
 @dataclass
@@ -157,10 +168,11 @@ class ReplayRun:
     config: ReplayConfig
     requests: list[LaunchRequest]
     outcomes: list[ReplayOutcome]
-    queue: AdmissionQueue
+    queue: object  # AdmissionQueue (legacy) | ServiceStats (service mode)
     metrics: MetricsRegistry
     runtime: object  # OffloadingRuntime | MultiDeviceRuntime
     horizon_s: float  # last service finish (or last arrival if none)
+    service: OffloadService | None = None  # the lanes, when service mode ran
 
     @property
     def records(self) -> list:
@@ -244,6 +256,7 @@ class ReplayEngine:
             request.case.env_dict(),
             force_target=force_target,
             budget=budget,
+            tenant=request.tenant,
         )
 
     @staticmethod
@@ -312,6 +325,35 @@ class ReplayEngine:
                 self.runtime.compile_region(region)
         if requests is None:
             requests = generate_requests(cfg.workload, cases)
+        if cfg.service:
+            return self._run_service(requests)
+        return self._run_legacy(requests)
+
+    def _run_service(self, requests: list[LaunchRequest]) -> ReplayRun:
+        cfg = self.config
+        if cfg.multi_device:
+            raise ValueError("service mode drives the single-accelerator runtime only")
+        service = OffloadService(self, cfg.service_config)
+        outcomes, horizon = service.run(requests)
+        metrics = self.runtime.metrics
+        self._advance_to(horizon)
+        metrics.gauge("replay_queue_max_depth").set(service.stats.max_depth)
+        metrics.gauge("replay_horizon_seconds").set(horizon)
+        for name, lane in service.lanes.items():
+            metrics.gauge("service_lane_max_depth", device=name).set(lane.max_depth)
+        return ReplayRun(
+            config=cfg,
+            requests=requests,
+            outcomes=outcomes,
+            queue=service.stats,
+            metrics=metrics,
+            runtime=self.runtime,
+            horizon_s=horizon,
+            service=service,
+        )
+
+    def _run_legacy(self, requests: list[LaunchRequest]) -> ReplayRun:
+        cfg = self.config
         queue = AdmissionQueue(cfg.admission)
         outcomes: list[ReplayOutcome] = []
         metrics = self.runtime.metrics

@@ -38,7 +38,7 @@ from ..obs import QuantileSketch
 from .chaos import ChaosWindow
 from .engine import ReplayRun
 
-__all__ = ["WindowScore", "ReplayScore", "score_run"]
+__all__ = ["WindowScore", "TenantScore", "ReplayScore", "score_run"]
 
 
 @dataclass(frozen=True)
@@ -59,6 +59,17 @@ class WindowScore:
     @property
     def recovered(self) -> bool:
         return self.ttr_s is not None
+
+
+@dataclass(frozen=True)
+class TenantScore:
+    """Completion-latency tails one tenant observed."""
+
+    tenant: str  # "default" for the anonymous single-tenant trace
+    launches: int  # served requests (admitted + resumed + degraded)
+    latency_p50_s: float
+    latency_p95_s: float
+    latency_p99_s: float
 
 
 @dataclass(frozen=True)
@@ -96,6 +107,14 @@ class ReplayScore:
     hedge_wins: int  # ... and finished first
     hedge_extra_fraction: float  # duplicated work / total served seconds
     windows: tuple[WindowScore, ...]
+    #: per-tenant completion tails, sorted by tenant label
+    tenants: tuple[TenantScore, ...] = ()
+    #: max/min ratio of per-tenant p99 latency (1.0 = perfectly fair or
+    #: fewer than two tenants; inf = some tenant's p99 is zero while
+    #: another's is not)
+    fairness_p99: float = 1.0
+    #: offload-service accounting snapshot (None for legacy FIFO runs)
+    service: dict | None = None
 
     def window(self, name: str) -> WindowScore:
         for w in self.windows:
@@ -143,6 +162,20 @@ class ReplayScore:
                 }
                 for w in self.windows
             ],
+            "tenants": [
+                {
+                    "tenant": t.tenant,
+                    "launches": t.launches,
+                    "latency_p50_s": t.latency_p50_s,
+                    "latency_p95_s": t.latency_p95_s,
+                    "latency_p99_s": t.latency_p99_s,
+                }
+                for t in self.tenants
+            ],
+            "fairness_p99": (
+                self.fairness_p99 if math.isfinite(self.fairness_p99) else None
+            ),
+            "service": self.service,
         }
 
 
@@ -263,6 +296,8 @@ def score_run(run: ReplayRun, *, recovery_margin_s: float = 0.0) -> ReplayScore:
 
     completion = QuantileSketch()
     chaos_completion = QuantileSketch()
+    tenant_of = {r.index: r.tenant for r in run.requests}
+    tenant_sketches: dict[str, QuantileSketch] = {}
     service_total_s = 0.0
     expired = 0
     for o in run.outcomes:
@@ -270,10 +305,22 @@ def score_run(run: ReplayRun, *, recovery_margin_s: float = 0.0) -> ReplayScore:
             expired += 1
         if o.record is None or o.start_s is None:
             continue
-        latency = o.start_s + o.record.executed_seconds - o.arrival_s
+        # the offload service records the pipeline finish (D2H done);
+        # the legacy FIFO never sets it, so its latency stays start + E
+        finish = (
+            o.finish_s
+            if o.finish_s is not None
+            else o.start_s + o.record.executed_seconds
+        )
+        latency = finish - o.arrival_s
         completion.observe(latency)
         if in_any_window(o.start_s):
             chaos_completion.observe(latency)
+        label = tenant_of.get(o.index) or "default"
+        sketch = tenant_sketches.get(label)
+        if sketch is None:
+            sketch = tenant_sketches[label] = QuantileSketch()
+        sketch.observe(latency)
         service_total_s += o.record.executed_seconds
 
     scored_windows = []
@@ -300,6 +347,27 @@ def score_run(run: ReplayRun, *, recovery_margin_s: float = 0.0) -> ReplayScore:
         # an empty sketch (e.g. every launch memo-fast) reads as 0.0 so
         # downstream isfinite() gates stay meaningful
         return sketch.quantile(quantile) if sketch.count else 0.0
+
+    tenant_scores = tuple(
+        TenantScore(
+            tenant=label,
+            launches=sketch.count,
+            latency_p50_s=tail(sketch, 0.50),
+            latency_p95_s=tail(sketch, 0.95),
+            latency_p99_s=tail(sketch, 0.99),
+        )
+        for label, sketch in sorted(tenant_sketches.items())
+    )
+    fairness = 1.0
+    if len(tenant_scores) >= 2:
+        p99s = [t.latency_p99_s for t in tenant_scores]
+        hi, lo = max(p99s), min(p99s)
+        if lo > 0.0:
+            fairness = hi / lo
+        elif hi > 0.0:
+            fairness = math.inf
+    service_obj = getattr(run, "service", None)
+    service_snapshot = service_obj.stats.snapshot() if service_obj else None
 
     return ReplayScore(
         launches=len(full_path),
@@ -331,4 +399,7 @@ def score_run(run: ReplayRun, *, recovery_margin_s: float = 0.0) -> ReplayScore:
             (hedge_extra_s / service_total_s) if service_total_s > 0.0 else 0.0
         ),
         windows=tuple(scored_windows),
+        tenants=tenant_scores,
+        fairness_p99=fairness,
+        service=service_snapshot,
     )

@@ -70,6 +70,10 @@ class LaunchRequest:
     arrival_s: float  # simulated arrival time
     case: CaseSpec
     burst: bool  # generated during a burst phase (diagnostic only)
+    #: issuing tenant (None = the anonymous single-tenant default, which
+    #: keeps single-tenant traces and records byte-identical to traces
+    #: generated before tenancy existed)
+    tenant: str | None = None
 
 
 @dataclass(frozen=True)
@@ -93,6 +97,14 @@ class WorkloadConfig:
     burst_factor: float = 8.0
     calm_length: int = 200
     burst_length: int = 50
+    #: concurrent tenants issuing the trace.  1 (the default) keeps the
+    #: historical anonymous trace (``request.tenant is None``); more
+    #: draws each request's tenant from its own substream, so turning
+    #: tenancy on never reshuffles kernels, sizes or arrival times.
+    tenants: int = 1
+    #: per-tenant traffic shares (None = uniform).  Skewed weights model
+    #: one heavy tenant crowding the others — the fairness scenarios.
+    tenant_weights: tuple[float, ...] | None = None
 
     def __post_init__(self):
         if self.launches < 1:
@@ -109,6 +121,13 @@ class WorkloadConfig:
             raise ValueError("burst_factor must be >= 1 (bursts are faster)")
         if self.calm_length < 1 or self.burst_length < 1:
             raise ValueError("phase lengths must be >= 1 launch")
+        if self.tenants < 1:
+            raise ValueError("need at least one tenant")
+        if self.tenant_weights is not None:
+            if len(self.tenant_weights) != self.tenants:
+                raise ValueError("tenant_weights must have one entry per tenant")
+            if any(w <= 0 for w in self.tenant_weights):
+                raise ValueError("tenant weights must be positive")
 
 
 def build_catalog(
@@ -154,7 +173,10 @@ def generate_requests(
       seed-shuffled ranking, so which kernels are "hot" varies by seed);
     * ``size`` — the dataset extent (envelope weights);
     * ``arrival`` — the exponential inter-arrival draws;
-    * ``phase`` — the calm/burst switching decisions.
+    * ``phase`` — the calm/burst switching decisions;
+    * ``tenant`` — which tenant issued the request (only consumed when
+      ``tenants > 1``, so single-tenant traces are byte-identical to
+      traces generated before the stream existed).
     """
     if cases is None:
         cases, _ = build_catalog(config.sizes)
@@ -174,6 +196,13 @@ def generate_requests(
     arrival_rng = derive_rng(config.seed, "workload", "arrival")
     phase_rng = derive_rng(config.seed, "workload", "phase")
 
+    tenant_cdf = None
+    tenant_rng = None
+    if config.tenants > 1:
+        tenant_rng = derive_rng(config.seed, "workload", "tenant")
+        shares = list(config.tenant_weights or [1.0] * config.tenants)
+        tenant_cdf = _cumulative(shares)
+
     requests: list[LaunchRequest] = []
     now = 0.0
     burst = False
@@ -187,12 +216,16 @@ def generate_requests(
         now += _exponential(arrival_rng, mean)
         kernel = kernels[bisect_left(pop_cdf, pop_rng.random())]
         size = config.sizes[bisect_left(size_cdf, size_rng.random())]
+        tenant = None
+        if tenant_cdf is not None:
+            tenant = f"t{bisect_left(tenant_cdf, tenant_rng.random())}"
         requests.append(
             LaunchRequest(
                 index=index,
                 arrival_s=now,
                 case=by_kernel_size[(kernel, size)],
                 burst=burst,
+                tenant=tenant,
             )
         )
     return requests

@@ -122,9 +122,13 @@ class Bulkhead:
     The replay engine books every served launch as ``(device, finish
     time)``; a device whose unfinished bookings at the current simulated
     time have reached ``limit`` refuses new dispatches, which the core
-    turns into a :data:`FALLBACK_BULKHEAD` reroute.  Because the replay
-    queue is a single-server FIFO, bookings finish in nondecreasing
-    order — draining from the left is exact.  The point is isolation:
+    turns into a :data:`FALLBACK_BULKHEAD` reroute.  Bookings may finish
+    **out of order** — the offload service schedules several servers and
+    overlapped transfer phases per device, so a later booking can finish
+    before an earlier one — and :meth:`pending` drains every finished
+    booking, not just a sorted prefix (a stale early entry behind a late
+    one would otherwise read as phantom load and pin the bulkhead
+    saturated forever).  The point is isolation:
     a brownout that balloons one device's service times saturates *its*
     slots only, and traffic keeps flowing through the other backend
     instead of queueing behind the sick one.
@@ -145,6 +149,12 @@ class Bulkhead:
             return 0
         while q and q[0] <= now:
             q.popleft()
+        # multi-server bookings are not sorted: sweep out any finished
+        # entry a still-running earlier booking is hiding behind
+        if q and any(t <= now for t in q):
+            live = [t for t in q if t > now]
+            q.clear()
+            q.extend(live)
         return len(q)
 
     def allows(self, device_name: str, now: float) -> bool:
@@ -604,6 +614,9 @@ class DispatchCore:
         """
         metrics = self.owner.metrics
         metrics.counter("launches_total", device=executed_device).inc()
+        tenant = getattr(record, "tenant", None)
+        if tenant is not None:
+            metrics.counter("tenant_launches_total", tenant=tenant).inc()
         sketch = metrics.quantiles("dispatch_overhead_seconds")
         if record.overhead_seconds != 0.0:
             sketch.observe(record.overhead_seconds)

@@ -44,7 +44,7 @@ leave every ``LaunchRecord`` bit-identical whether attached or not.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Mapping
 
 from ..analysis import ProgramAttributeDatabase, RegionAttributes
@@ -106,6 +106,7 @@ class LaunchRecord:
     admission: str | None = None  # admission-control provenance (None = full path)
     transfers: str | None = None  # transfer sizing source (None = declared map)
     hedge: HedgeOutcome | None = None  # hedged-launch provenance (None = no backup)
+    tenant: str | None = None  # issuing tenant (None = anonymous/single-tenant)
 
     @property
     def true_speedup(self) -> float:
@@ -222,6 +223,7 @@ class OffloadingRuntime:
         *,
         force_target: str | None = None,
         budget: Budget | None = None,
+        tenant: str | None = None,
     ) -> LaunchRecord:
         """Reach a target region with runtime values and dispatch it.
 
@@ -237,6 +239,11 @@ class OffloadingRuntime:
         budget: retry backoff and watchdog burn are charged against it
         and can never overspend it (docs/ROBUSTNESS.md).  ``None`` (the
         default) dispatches unbudgeted, bit-identically.
+
+        ``tenant`` stamps the issuing tenant onto the record (the
+        offload service's provenance hook); ``None`` — the anonymous
+        single-tenant default — returns the identical record object an
+        untenanted runtime would.
         """
         if force_target not in (None, "cpu"):
             raise ValueError(
@@ -250,6 +257,8 @@ class OffloadingRuntime:
                 record = self._launch_degraded(region_name, env)
             else:
                 record = self._launch(region_name, env, tracer, budget)
+            if tenant is not None:
+                record = replace(record, tenant=tenant)
             if tracer.enabled:
                 span.set("target", record.target)
                 if record.fallback is not None:

@@ -34,7 +34,7 @@ CALIBRATED leaves records bit-identical (``drift=None``).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Mapping
 
 from ..analysis import ProgramAttributeDatabase
@@ -101,6 +101,7 @@ class MultiLaunchRecord:
     admission: str | None = None  # admission-control provenance (None = full path)
     transfers: str | None = None  # transfer sizing source (None = declared map)
     hedge: HedgeOutcome | None = None  # hedged-launch provenance (None = no backup)
+    tenant: str | None = None  # issuing tenant (None = anonymous/single-tenant)
 
     def outcome_of(self, device_name: str) -> DeviceOutcome:
         for o in self.outcomes:
@@ -314,6 +315,7 @@ class MultiDeviceRuntime:
         *,
         force_target: str | None = None,
         budget: Budget | None = None,
+        tenant: str | None = None,
     ) -> MultiLaunchRecord:
         """Predict every candidate device, dispatch to the best that works.
 
@@ -334,6 +336,8 @@ class MultiDeviceRuntime:
                 record = self._launch_degraded(region_name, env)
             else:
                 record = self._launch(region_name, env, tracer, budget)
+            if tenant is not None:
+                record = replace(record, tenant=tenant)
             if tracer.enabled:
                 span.set("chosen", record.chosen)
                 span.set("executed", record.executed_device or record.chosen)

@@ -1,0 +1,484 @@
+"""Tests for the multi-tenant offload service (repro.replay.service).
+
+Pins the service with three harnesses:
+
+* a differential suite — the service in its legacy-equivalent
+  configuration is byte-identical to the historical single-server FIFO
+  across the whole chaos/overload/budget grid, and seeded service-mode
+  reruns are byte-identical to themselves;
+* derandomized hypothesis property tests — request conservation, no
+  compute server runs two phases at once, per-tenant FIFO within a
+  lane, and the dispatch clock never goes backwards;
+* a bulkhead regression (multi-server admission used to leak slots
+  when finishes completed out of order) plus admission-edge and
+  ``Budget.charge`` refund-rejection coverage.
+"""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machines import PLATFORM_P9_V100
+from repro.replay import (
+    AdmissionConfig,
+    ChaosSchedule,
+    ChaosWindow,
+    MemoizedPolicy,
+    ReplayConfig,
+    ReplayEngine,
+    ServiceConfig,
+    WorkloadConfig,
+    score_run,
+)
+from repro.runtime import (
+    FALLBACK_BULKHEAD,
+    Budget,
+    Bulkhead,
+    ExecutionMemo,
+)
+
+
+@pytest.fixture(scope="module")
+def shared():
+    """One memo + policy cache shared by every engine in this module."""
+    return {"memo": ExecutionMemo(), "policy": MemoizedPolicy()}
+
+
+def _engine(cfg: ReplayConfig, shared) -> ReplayEngine:
+    return ReplayEngine(cfg, policy=shared["policy"], memo=shared["memo"])
+
+
+def _twin_runs(shared, **cfg_kwargs):
+    """One legacy run and one compat-mode service run of the same trace."""
+    legacy = _engine(
+        ReplayConfig(platform=PLATFORM_P9_V100, **cfg_kwargs), shared
+    ).run()
+    compat = _engine(
+        ReplayConfig(
+            platform=PLATFORM_P9_V100,
+            service=True,
+            service_config=ServiceConfig.legacy_equivalent(),
+            **cfg_kwargs,
+        ),
+        shared,
+    ).run()
+    return legacy, compat
+
+
+class TestServiceConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(quantum_s=-1.0)
+        with pytest.raises(ValueError):
+            ServiceConfig(quantum_s=math.nan)
+        with pytest.raises(ValueError):
+            ServiceConfig(servers=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(host_servers=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(max_batch=0)
+
+    def test_legacy_equivalent_is_single_serial_lane(self):
+        cfg = ServiceConfig.legacy_equivalent()
+        assert cfg.servers == cfg.host_servers == cfg.max_batch == 1
+        assert not cfg.batching and not cfg.overlap
+        assert cfg.quantum_s == 0.0
+
+
+class TestCompatDifferential:
+    """service=True with the legacy-equivalent shape is a byte-for-byte
+
+    re-implementation of the single-server FIFO: same records, same
+    outcomes, same horizon, same score, same queue accounting — across
+    steady state, chaos, every overload policy, deadline budgets, and
+    hedged launches behind a bulkhead.
+    """
+
+    SCENARIOS = {
+        "steady": dict(workload=WorkloadConfig(launches=400, seed=11)),
+        "fault-storm": dict(
+            workload=WorkloadConfig(launches=600, seed=5),
+            chaos=ChaosSchedule(
+                windows=(
+                    ChaosWindow(
+                        name="storm",
+                        kind="fault-storm",
+                        start_s=0.15,
+                        stop_s=0.35,
+                        probability=0.9,
+                    ),
+                ),
+                seed=5,
+            ),
+        ),
+        "overload-reject": dict(
+            workload=WorkloadConfig(launches=400, seed=3, mean_interarrival_s=1e-6),
+            admission=AdmissionConfig(capacity=8, policy="reject"),
+        ),
+        "overload-degrade": dict(
+            workload=WorkloadConfig(launches=400, seed=3, mean_interarrival_s=1e-6),
+            admission=AdmissionConfig(capacity=8, policy="degrade"),
+        ),
+        "overload-defer": dict(
+            workload=WorkloadConfig(launches=400, seed=3, mean_interarrival_s=1e-6),
+            admission=AdmissionConfig(capacity=8, policy="defer", defer_capacity=16),
+        ),
+        "budget": dict(
+            workload=WorkloadConfig(launches=400, seed=7, mean_interarrival_s=1e-5),
+            budget_s=2e-3,
+        ),
+        "hedge-bulkhead": dict(
+            workload=WorkloadConfig(launches=400, seed=9),
+            hedge=True,
+            bulkhead_slots=2,
+        ),
+        "tenants": dict(
+            workload=WorkloadConfig(launches=400, seed=13, tenants=3),
+        ),
+    }
+
+    @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+    def test_compat_mode_is_byte_identical(self, scenario, shared):
+        legacy, compat = _twin_runs(shared, **self.SCENARIOS[scenario])
+
+        assert compat.records == legacy.records
+        assert compat.horizon_s == legacy.horizon_s
+        assert len(compat.outcomes) == len(legacy.outcomes)
+        for ours, theirs in zip(compat.outcomes, legacy.outcomes):
+            assert ours.index == theirs.index
+            assert ours.outcome == theirs.outcome
+            assert ours.arrival_s == theirs.arrival_s
+            assert ours.start_s == theirs.start_s
+            assert ours.record == theirs.record
+            # finish_s is the one field only the service fills in; in
+            # compat mode it must equal start + executed wall time
+            if ours.record is not None and ours.start_s is not None:
+                assert ours.finish_s == pytest.approx(
+                    ours.start_s + ours.record.executed_seconds
+                )
+
+        # scores agree on everything except the service-only extras
+        ours = score_run(compat).to_payload()
+        theirs = score_run(legacy).to_payload()
+        ours.pop("service")
+        theirs.pop("service")
+        assert ours == theirs
+
+        # queue accounting: every legacy counter has the same value
+        legacy_snap = legacy.queue.snapshot()
+        compat_snap = compat.queue.snapshot()
+        for key, value in legacy_snap.items():
+            assert compat_snap[key] == value, key
+
+    def test_service_mode_seeded_rerun_is_byte_identical(self, shared):
+        cfg = ReplayConfig(
+            platform=PLATFORM_P9_V100,
+            workload=WorkloadConfig(launches=500, seed=4, tenants=3),
+            service=True,
+        )
+        first = _engine(cfg, shared).run()
+        second = _engine(cfg, shared).run()
+        assert first.records == second.records
+        assert first.outcomes == second.outcomes
+        assert first.horizon_s == second.horizon_s
+        a = json.dumps(score_run(first).to_payload(), sort_keys=True)
+        b = json.dumps(score_run(second).to_payload(), sort_keys=True)
+        assert a == b
+
+
+class TestServiceMode:
+    @pytest.fixture(scope="class")
+    def run(self, shared):
+        cfg = ReplayConfig(
+            platform=PLATFORM_P9_V100,
+            workload=WorkloadConfig(
+                launches=800, seed=2, tenants=3, mean_interarrival_s=4e-4
+            ),
+            service=True,
+        )
+        return _engine(cfg, shared).run()
+
+    def test_every_request_has_exactly_one_outcome(self, run):
+        assert [o.index for o in run.outcomes] == list(range(800))
+        assert sum(run.outcome_counts().values()) == 800
+
+    def test_compute_servers_never_double_book(self, run):
+        by_server: dict = {}
+        for lane, server, comp_start, comp_end, _idx, _tenant in run.service.timeline:
+            by_server.setdefault((lane, server), []).append((comp_start, comp_end))
+        for spans in by_server.values():
+            spans.sort()
+            for (_, prev_end), (next_start, _) in zip(spans, spans[1:]):
+                assert next_start >= prev_end
+
+    def test_pipeline_finish_at_or_after_compute(self, run):
+        for o in run.outcomes:
+            if o.record is None or o.start_s is None:
+                continue
+            assert o.finish_s >= o.start_s
+
+    def test_per_device_metrics_recorded(self, run):
+        snap = run.metrics.snapshot()
+        depth_keys = [k for k in snap["quantiles"] if "service_queue_depth" in k]
+        occupancy = [k for k in snap["quantiles"] if "service_occupancy" in k]
+        assert any("cpu" in k for k in depth_keys)
+        assert any("gpu" in k for k in depth_keys)
+        assert occupancy
+
+    def test_score_carries_tenants_and_fairness(self, run):
+        score = score_run(run)
+        assert len(score.tenants) == 3
+        assert sum(t.launches for t in score.tenants) == score.launches
+        for t in score.tenants:
+            assert t.latency_p50_s <= t.latency_p95_s <= t.latency_p99_s
+        assert math.isfinite(score.fairness_p99) and score.fairness_p99 >= 1.0
+        payload = score.to_payload()
+        assert payload["service"]["lanes"].keys() == {"cpu", "gpu"}
+
+    def test_lane_accounting_sums_to_aggregate(self, run):
+        snap = run.queue.snapshot()
+        lanes = snap["lanes"]
+        for key in ("admitted", "shed", "degraded", "deferred", "resumed"):
+            assert sum(lane[key] for lane in lanes.values()) == snap[key], key
+
+    def test_multi_device_rejected(self, shared):
+        cfg = ReplayConfig(
+            platform=PLATFORM_P9_V100,
+            workload=WorkloadConfig(launches=10, seed=0),
+            service=True,
+            multi_device=True,
+        )
+        with pytest.raises(ValueError):
+            ReplayEngine(cfg, memo=shared["memo"]).run()
+
+
+# one module-scope memo for the property tests: hypothesis re-invokes
+# the test body per example, and a cold memo per example is pure waste
+_PROP_SHARED = {"memo": ExecutionMemo(), "policy": MemoizedPolicy()}
+
+
+def _service_run(seed, *, launches=150, tenants=3, capacity=None, policy="reject"):
+    admission = (
+        AdmissionConfig()
+        if capacity is None
+        else AdmissionConfig(capacity=capacity, policy=policy)
+    )
+    cfg = ReplayConfig(
+        platform=PLATFORM_P9_V100,
+        workload=WorkloadConfig(
+            launches=launches, seed=seed, tenants=tenants, mean_interarrival_s=5e-4
+        ),
+        admission=admission,
+        service=True,
+    )
+    return _engine(cfg, _PROP_SHARED).run()
+
+
+class TestServiceProperties:
+    """Derandomized hypothesis sweep over trace seeds and admission shapes."""
+
+    @settings(derandomize=True, deadline=None, max_examples=6)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        capacity=st.sampled_from([None, 4, 16]),
+        policy=st.sampled_from(["reject", "degrade", "defer"]),
+    )
+    def test_conservation(self, seed, capacity, policy):
+        run = _service_run(seed, capacity=capacity, policy=policy)
+        assert sorted(o.index for o in run.outcomes) == list(range(150))
+        # degraded launches run inline at the admission door; everything
+        # else that produced a record went through a lane dispatch
+        lane_launched = {
+            o.index
+            for o in run.outcomes
+            if o.record is not None and o.outcome != "degraded"
+        }
+        logged = {entry[1] for entry in run.service.dispatch_log}
+        assert logged == lane_launched
+
+    @settings(derandomize=True, deadline=None, max_examples=6)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_compute_exclusivity(self, seed):
+        run = _service_run(seed, launches=200)
+        by_server: dict = {}
+        for lane, server, comp_start, comp_end, _idx, _tenant in run.service.timeline:
+            assert comp_end >= comp_start
+            by_server.setdefault((lane, server), []).append((comp_start, comp_end))
+        for spans in by_server.values():
+            spans.sort()
+            for (_, prev_end), (next_start, _) in zip(spans, spans[1:]):
+                assert next_start >= prev_end
+
+    @settings(derandomize=True, deadline=None, max_examples=6)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_per_tenant_fifo_within_lane(self, seed):
+        # unbounded admission: nothing is parked or shed, so a tenant's
+        # launches must leave each lane in arrival (= index) order
+        run = _service_run(seed, launches=200)
+        last: dict = {}
+        for lane, index, tenant, _begin, _clock in run.service.dispatch_log:
+            key = (lane, tenant)
+            assert last.get(key, -1) < index
+            last[key] = index
+
+    @settings(derandomize=True, deadline=None, max_examples=6)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        capacity=st.sampled_from([None, 6]),
+    )
+    def test_dispatch_clock_never_goes_backwards(self, seed, capacity):
+        run = _service_run(seed, capacity=capacity, policy="defer")
+        clocks = [entry[4] for entry in run.service.dispatch_log]
+        assert all(a <= b for a, b in zip(clocks, clocks[1:]))
+        arrival = {r.index: r.arrival_s for r in run.requests}
+        for _lane, index, _tenant, begin, _clock in run.service.dispatch_log:
+            assert begin >= arrival[index]
+
+
+class TestBulkheadRegression:
+    def test_pending_sweeps_out_of_order_finishes(self):
+        # the latent gap: finishes book in dispatch order, not finish
+        # order — a sorted-prefix drain would leave the elapsed t=7
+        # booking counted as live at t=8 and leak the slot
+        bulkhead = Bulkhead(4)
+        bulkhead.book("gpu", 10.0)
+        bulkhead.book("gpu", 7.0)
+        assert bulkhead.pending("gpu", 8.0) == 1
+        assert bulkhead.pending("gpu", 11.0) == 0
+
+    def test_limit_validation(self):
+        with pytest.raises(ValueError):
+            Bulkhead(0)
+
+    def test_service_reroutes_on_saturated_bulkhead(self, shared):
+        cfg = ReplayConfig(
+            platform=PLATFORM_P9_V100,
+            workload=WorkloadConfig(
+                launches=1500, seed=2, mean_interarrival_s=5e-4
+            ),
+            service=True,
+            bulkhead_slots=1,
+            service_config=ServiceConfig(servers=2, host_servers=2),
+        )
+        run = _engine(cfg, shared).run()
+        rerouted = [
+            r for r in run.records if r.fallback == FALLBACK_BULKHEAD
+        ]
+        assert rerouted, "multi-server admission never saturated the bulkhead"
+        assert run.runtime.bulkheads.rejections.get("gpu", 0) == len(rerouted)
+        assert all(
+            r.target == "cpu" and r.requested_target == "gpu" for r in rerouted
+        )
+
+
+class TestCoverageEdges:
+    def test_budget_rejects_refunds(self):
+        budget = Budget(1.0)
+        budget.charge(0.25)
+        with pytest.raises(ValueError):
+            budget.charge(-0.1)
+        with pytest.raises(ValueError):
+            budget.charge(math.nan)
+        with pytest.raises(ValueError):
+            budget.charge(math.inf)
+        assert budget.remaining() == pytest.approx(0.75)
+        assert not budget.exhausted
+
+    def test_budget_requires_finite_positive_total(self):
+        with pytest.raises(ValueError):
+            Budget(0.0)
+        with pytest.raises(ValueError):
+            Budget(math.inf)
+        with pytest.raises(ValueError):
+            Budget(math.nan)
+
+    def test_service_door_expires_stale_waiters(self, shared):
+        # a tight deadline on an overloaded trace must shed at the door
+        # (wait >= budget) without charging or launching
+        cfg = ReplayConfig(
+            platform=PLATFORM_P9_V100,
+            workload=WorkloadConfig(
+                launches=400, seed=7, mean_interarrival_s=1e-5
+            ),
+            service=True,
+            budget_s=2e-3,
+        )
+        run = _engine(cfg, shared).run()
+        counts = run.outcome_counts()
+        assert counts.get("expired", 0) > 0
+        assert sum(counts.values()) == 400
+        expired = [o for o in run.outcomes if o.outcome == "expired"]
+        assert all(o.record is None for o in expired)
+
+    def test_service_defer_parks_and_resumes(self, shared):
+        cfg = ReplayConfig(
+            platform=PLATFORM_P9_V100,
+            workload=WorkloadConfig(
+                launches=400, seed=3, mean_interarrival_s=1e-6
+            ),
+            admission=AdmissionConfig(capacity=8, policy="defer", defer_capacity=16),
+            service=True,
+        )
+        run = _engine(cfg, shared).run()
+        snap = run.queue.snapshot()
+        assert snap["deferred"] > 0 and snap["resumed"] > 0
+        assert sum(run.outcome_counts().values()) == 400
+
+    def test_service_degrade_forces_the_host(self, shared):
+        cfg = ReplayConfig(
+            platform=PLATFORM_P9_V100,
+            workload=WorkloadConfig(
+                launches=400, seed=3, mean_interarrival_s=1e-6
+            ),
+            admission=AdmissionConfig(capacity=8, policy="degrade"),
+            service=True,
+        )
+        run = _engine(cfg, shared).run()
+        degraded = [o for o in run.outcomes if o.outcome == "degraded"]
+        assert degraded
+        assert all(
+            o.record is not None and o.record.admission is not None
+            for o in degraded
+        )
+
+    def test_experiment_small_grid_passes_and_serializes(self):
+        from repro.experiments import run_service
+
+        result = run_service(
+            launches=1000,
+            scenarios=("uniform-steady", "uniform-storm", "skewed-burst"),
+        )
+        assert result.passed
+        assert result.overlap_wins >= 1
+        for row in result.rows:
+            assert row.score.tenants and row.legacy.tenants
+            assert row.score.requests == row.legacy.requests
+        payload = result.to_payload()
+        assert json.loads(json.dumps(payload)) == payload
+        assert result.render()
+
+    def test_experiment_rejects_bad_grids(self):
+        from repro.experiments import run_service
+
+        with pytest.raises(ValueError):
+            run_service(launches=100, scenarios=("uniform-steady", "meteor"))
+        with pytest.raises(ValueError):
+            run_service(launches=100, tenants=1)
+
+    def test_batching_waives_transfers_under_pressure(self, shared):
+        cfg = ReplayConfig(
+            platform=PLATFORM_P9_V100,
+            workload=WorkloadConfig(
+                launches=1200, seed=6, mean_interarrival_s=2e-4
+            ),
+            service=True,
+            service_config=ServiceConfig(quantum_s=2e-3, max_batch=8),
+        )
+        run = _engine(cfg, shared).run()
+        snap = run.queue.snapshot()
+        assert snap["batches"] > 0
+        assert snap["transfers_waived"] == snap["batched"] or (
+            snap["transfers_waived"] <= snap["batched"]
+        )
